@@ -1,0 +1,208 @@
+// Package autoadapt is the top-level facade of the infrastructure for
+// distributed auto-adaptive applications reproduced from "Dynamic Support
+// for Distributed Auto-Adaptive Applications" (de Moura, Ururahy,
+// Cerqueira, Rodriguez — ICDCS 2002 workshops).
+//
+// The building blocks live in the internal packages (see DESIGN.md for the
+// full inventory):
+//
+//	internal/orb      — the object request broker (dynamic invocation,
+//	                    dynamic servants, object references, oneway)
+//	internal/script   — AdaptScript, the embedded interpreted language
+//	internal/idl      — IDL-subset parser + interface repository
+//	internal/trading  — trading service with dynamic properties
+//	internal/monitor  — extensible monitors (aspects, event observers)
+//	internal/core     — the smart proxy (the paper's contribution)
+//	internal/agent    — service agents
+//	internal/hostenv  — simulated hosts
+//
+// This package bundles them into the two roles a deployment has:
+//
+//	Trader side:  StartTrader runs a trading service daemon.
+//	Client side:  Connect yields a Platform, from which applications
+//	              create smart proxies bound to a service type.
+//	Server side:  agent.Start (re-exported here as StartAgent) announces
+//	              a servant with live load monitoring.
+package autoadapt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"autoadapt/internal/agent"
+	"autoadapt/internal/core"
+	"autoadapt/internal/idl"
+	"autoadapt/internal/monitor"
+	"autoadapt/internal/orb"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// Re-exported types: the public vocabulary of the facade.
+type (
+	// Value is a dynamically typed value exchanged through the ORB.
+	Value = wire.Value
+	// ObjRef names a remote object.
+	ObjRef = wire.ObjRef
+	// Network is a transport (TCP or in-process).
+	Network = orb.Network
+	// Servant is the dynamic skeleton interface.
+	Servant = orb.Servant
+	// ServantFunc adapts a function to Servant.
+	ServantFunc = orb.ServantFunc
+	// SmartProxy is the paper's smart proxy.
+	SmartProxy = core.SmartProxy
+	// ProxyOptions configures a smart proxy.
+	ProxyOptions = core.Options
+	// Watch declares an event subscription installed on selected servers.
+	Watch = core.Watch
+	// Strategy is an adaptation strategy.
+	Strategy = core.Strategy
+	// AgentOptions configures a service agent.
+	AgentOptions = agent.Options
+	// Agent is a running service agent.
+	Agent = agent.Agent
+	// ServiceType describes a traded service type.
+	ServiceType = trading.ServiceType
+	// PropValue is an offer property (static or dynamic).
+	PropValue = trading.PropValue
+	// QueryResult is one trader match.
+	QueryResult = trading.QueryResult
+)
+
+// TCP is the production transport.
+func TCP() Network { return orb.TCPNetwork{} }
+
+// NewInprocNetwork returns an in-process transport for tests and
+// single-process deployments.
+func NewInprocNetwork() *orb.InprocNetwork { return orb.NewInprocNetwork() }
+
+// TraderOptions configures StartTrader.
+type TraderOptions struct {
+	// Network and Address to listen on. Required.
+	Network Network
+	Address string
+	// Types registered at start.
+	Types []ServiceType
+	// CheckIDL, when true, loads the monitor/trader IDL into an interface
+	// repository and type-checks inbound trader calls.
+	CheckIDL bool
+	// Logger for connection diagnostics.
+	Logger *log.Logger
+}
+
+// TraderHandle is a running trading service.
+type TraderHandle struct {
+	Trader *trading.Trader
+	Ref    ObjRef
+
+	server *orb.Server
+	client *orb.Client
+}
+
+// StartTrader runs a trading service on the given transport. Dynamic
+// properties are resolved through a client on the same transport.
+func StartTrader(opts TraderOptions) (*TraderHandle, error) {
+	if opts.Network == nil {
+		return nil, errors.New("autoadapt: TraderOptions.Network is required")
+	}
+	client := orb.NewClient(opts.Network)
+	tr := trading.NewTrader(trading.ClientResolver{Client: client})
+	for _, st := range opts.Types {
+		tr.AddType(st)
+	}
+	var repo *idl.Repository
+	if opts.CheckIDL {
+		repo = idl.NewRepository()
+		if err := repo.LoadIDL(monitor.IDL); err != nil {
+			_ = client.Close()
+			return nil, fmt.Errorf("autoadapt: load monitor IDL: %w", err)
+		}
+		if err := repo.LoadIDL(trading.InterfaceIDL); err != nil {
+			_ = client.Close()
+			return nil, fmt.Errorf("autoadapt: load trader IDL: %w", err)
+		}
+	}
+	srv, err := orb.NewServer(orb.ServerOptions{
+		Network: opts.Network, Address: opts.Address, Repo: repo, Logger: opts.Logger,
+	})
+	if err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	iface := ""
+	if opts.CheckIDL {
+		iface = "Trader"
+	}
+	ref := srv.Register(trading.DefaultObjectKey, iface, trading.NewServant(tr))
+	return &TraderHandle{Trader: tr, Ref: ref, server: srv, client: client}, nil
+}
+
+// Endpoint returns the trader's endpoint string.
+func (t *TraderHandle) Endpoint() string { return t.server.Endpoint() }
+
+// Close stops the trader.
+func (t *TraderHandle) Close() error {
+	err := t.server.Close()
+	if cerr := t.client.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Platform is the client-side runtime: an ORB client, a lookup bound to a
+// trader, and a local server hosting observer callbacks.
+type Platform struct {
+	Client *orb.Client
+	Lookup *trading.Lookup
+	// ObserverServer hosts EventObserver callbacks for smart proxies.
+	ObserverServer *orb.Server
+}
+
+// Connect builds a Platform: it dials nothing eagerly, binds the lookup to
+// traderRef, and starts a local callback server on callbackAddr.
+func Connect(network Network, traderRef ObjRef, callbackAddr string) (*Platform, error) {
+	if network == nil {
+		return nil, errors.New("autoadapt: network is required")
+	}
+	client := orb.NewClient(network)
+	srv, err := orb.NewServer(orb.ServerOptions{Network: network, Address: callbackAddr})
+	if err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	return &Platform{
+		Client:         client,
+		Lookup:         trading.NewLookup(client, traderRef),
+		ObserverServer: srv,
+	}, nil
+}
+
+// NewSmartProxy creates a smart proxy wired to the platform. The caller
+// sets ServiceType/Constraint/Preference/Watches on opts; Client, Lookup
+// and ObserverServer are filled in.
+func (p *Platform) NewSmartProxy(opts ProxyOptions) (*SmartProxy, error) {
+	opts.Client = p.Client
+	opts.Lookup = p.Lookup
+	if opts.ObserverServer == nil {
+		opts.ObserverServer = p.ObserverServer
+	}
+	return core.New(opts)
+}
+
+// Close tears the platform down.
+func (p *Platform) Close() error {
+	err := p.Client.Close()
+	if serr := p.ObserverServer.Close(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// StartAgent announces a servant through a service agent (see
+// internal/agent for the full option set).
+func StartAgent(ctx context.Context, opts AgentOptions) (*Agent, error) {
+	return agent.Start(ctx, opts)
+}

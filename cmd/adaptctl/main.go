@@ -1,0 +1,191 @@
+// Command adaptctl is the dynamic client: the LuaCorba-style interactive
+// access to a running deployment. It performs stub-free (DII-style)
+// invocations, trader queries, and monitor inspection from the shell.
+//
+// Usage:
+//
+//	adaptctl -trader 'tcp|127.0.0.1:9050/Trader' types
+//	adaptctl -trader ... query LoadShared "LoadAvg < 2" "min LoadAvg"
+//	adaptctl invoke 'tcp|127.0.0.1:41234/service' hello
+//	adaptctl invoke 'tcp|host:port/service' work 0.25
+//	adaptctl monitor 'tcp|host:port/monitor/LoadAvg'
+//	adaptctl aspect  'tcp|host:port/monitor/LoadAvg' Increasing
+//	adaptctl define  'tcp|host:port/monitor/LoadAvg' Load15 'function(self,v,m) return v[3] end'
+//
+// Arguments to invoke are parsed as numbers when possible, as booleans for
+// true/false, and as strings otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	traderRef := flag.String("trader", "tcp|127.0.0.1:9050/Trader", "trader object reference")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: adaptctl [flags] types|query|invoke|monitor|aspect|define ...")
+	}
+
+	client := orb.NewClient(orb.TCPNetwork{})
+	defer client.Close()
+	ctx := context.Background()
+
+	switch args[0] {
+	case "types":
+		ref, err := wire.ParseObjRef(*traderRef)
+		if err != nil {
+			return err
+		}
+		rs, err := client.Invoke(ctx, ref, "listTypes")
+		if err != nil {
+			return err
+		}
+		if tb, ok := rs[0].AsTable(); ok {
+			for i := 1; i <= tb.Len(); i++ {
+				fmt.Println(tb.Index(i).Str())
+			}
+		}
+		return nil
+	case "query":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: adaptctl query <type> [constraint] [preference]")
+		}
+		ref, err := wire.ParseObjRef(*traderRef)
+		if err != nil {
+			return err
+		}
+		constraint, preference := "", ""
+		if len(args) > 2 {
+			constraint = args[2]
+		}
+		if len(args) > 3 {
+			preference = args[3]
+		}
+		lookup := trading.NewLookup(client, ref)
+		results, err := lookup.Query(ctx, args[1], constraint, preference, 0)
+		if err != nil {
+			return err
+		}
+		if len(results) == 0 {
+			fmt.Println("no matching offers")
+			return nil
+		}
+		for _, r := range results {
+			fmt.Printf("%s  %s\n", r.Offer.ID, r.Offer.Ref)
+			for name, v := range r.Snapshot {
+				fmt.Printf("    %-20s %s\n", name, v)
+			}
+		}
+		return nil
+	case "invoke":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: adaptctl invoke <objref> <op> [args...]")
+		}
+		ref, err := wire.ParseObjRef(args[1])
+		if err != nil {
+			return err
+		}
+		vals := make([]wire.Value, 0, len(args)-3)
+		for _, a := range args[3:] {
+			vals = append(vals, parseArg(a))
+		}
+		rs, err := client.Invoke(ctx, ref, args[2], vals...)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fmt.Println(r)
+		}
+		return nil
+	case "monitor":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: adaptctl monitor <monitor-objref>")
+		}
+		ref, err := wire.ParseObjRef(args[1])
+		if err != nil {
+			return err
+		}
+		val, err := client.Invoke(ctx, ref, "getValue")
+		if err != nil {
+			return err
+		}
+		fmt.Println("value:", val[0])
+		aspects, err := client.Invoke(ctx, ref, "definedAspects")
+		if err != nil {
+			return err
+		}
+		if tb, ok := aspects[0].AsTable(); ok {
+			for i := 1; i <= tb.Len(); i++ {
+				name := tb.Index(i).Str()
+				av, err := client.Invoke(ctx, ref, "getAspectValue", wire.String(name))
+				if err != nil {
+					return err
+				}
+				fmt.Printf("aspect %-16s %s\n", name+":", av[0])
+			}
+		}
+		return nil
+	case "aspect":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: adaptctl aspect <monitor-objref> <name>")
+		}
+		ref, err := wire.ParseObjRef(args[1])
+		if err != nil {
+			return err
+		}
+		rs, err := client.Invoke(ctx, ref, "getAspectValue", wire.String(args[2]))
+		if err != nil {
+			return err
+		}
+		fmt.Println(rs[0])
+		return nil
+	case "define":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: adaptctl define <monitor-objref> <aspect> <code>")
+		}
+		ref, err := wire.ParseObjRef(args[1])
+		if err != nil {
+			return err
+		}
+		_, err = client.Invoke(ctx, ref, "defineAspect", wire.String(args[2]), wire.String(args[3]))
+		if err != nil {
+			return err
+		}
+		fmt.Println("aspect defined (shipped code installed at the monitor)")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func parseArg(s string) wire.Value {
+	if n, err := strconv.ParseFloat(s, 64); err == nil {
+		return wire.Number(n)
+	}
+	switch s {
+	case "true":
+		return wire.Bool(true)
+	case "false":
+		return wire.Bool(false)
+	case "nil":
+		return wire.Nil()
+	}
+	return wire.String(s)
+}

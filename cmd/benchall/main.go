@@ -1,0 +1,108 @@
+// Command benchall regenerates every experiment table from DESIGN.md §3
+// (E1, E2, E3, E6 — the scenario experiments; E4/E5/E7/E8 are Go
+// micro-benchmarks run with `go test -bench`). Output goes to stdout and,
+// with -o, to a file; EXPERIMENTS.md records the measured shapes against
+// the paper's claims.
+//
+// Usage:
+//
+//	benchall            # quick configuration (~seconds)
+//	benchall -full      # the full configuration from EXPERIMENTS.md
+//	benchall -o out.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"autoadapt/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchall:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		full = flag.Bool("full", false, "run the full-length configurations")
+		out  = flag.String("o", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	e1 := experiment.LoadShareConfig{
+		Servers:        4,
+		Clients:        8,
+		Duration:       12 * time.Minute,
+		Threshold:      3,
+		BackgroundLoad: 6,
+		BackgroundAt:   4 * time.Minute,
+	}
+	e2 := experiment.EventVsPollingConfig{}
+	e3 := experiment.PostponeConfig{Events: 25}
+	e6 := experiment.RelaxConfig{}
+	if *full {
+		e1.Duration = 30 * time.Minute
+		e1.Clients = 16
+		e1.Servers = 6
+		e2.Duration = 2 * time.Hour
+		e3.Events = 60
+		e6.OverloadTicks = 20
+		e6.ReliefTicks = 20
+	}
+
+	fmt.Fprintf(w, "autoadapt experiment report — %s\n\n", time.Now().Format(time.RFC1123))
+
+	t1, _, err := experiment.LoadSharingTable(e1)
+	if err != nil {
+		return fmt.Errorf("E1: %w", err)
+	}
+	fmt.Fprintln(w, t1.Render())
+
+	t2, _, err := experiment.EventVsPollingTable(e2)
+	if err != nil {
+		return fmt.Errorf("E2: %w", err)
+	}
+	fmt.Fprintln(w, t2.Render())
+
+	t3, _, err := experiment.PostponeTable(e3)
+	if err != nil {
+		return fmt.Errorf("E3: %w", err)
+	}
+	fmt.Fprintln(w, t3.Render())
+
+	t6, _, err := experiment.RelaxTable(e6)
+	if err != nil {
+		return fmt.Errorf("E6: %w", err)
+	}
+	fmt.Fprintln(w, t6.Render())
+
+	a2 := experiment.StalenessConfig{}
+	if *full {
+		a2.Duration = 30 * time.Minute
+	}
+	tA2, _, err := experiment.StalenessTable(a2)
+	if err != nil {
+		return fmt.Errorf("A2: %w", err)
+	}
+	fmt.Fprintln(w, tA2.Render())
+
+	fmt.Fprintln(w, "micro-benchmarks (E4 invocation paths, E5 trader queries, E7 script overhead,")
+	fmt.Fprintln(w, "E8 cross-service reuse): run `go test -bench=. -benchmem .` at the repo root.")
+	return nil
+}

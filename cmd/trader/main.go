@@ -1,0 +1,78 @@
+// Command trader runs a standalone trading-service daemon over TCP — the
+// central piece of the paper's Fig. 6 architecture.
+//
+// Usage:
+//
+//	trader -listen 127.0.0.1:9050 -type LoadShared -type ImageService
+//
+// Agents export offers to it (cmd/agentd), clients query it (cmd/adaptctl,
+// cmd/loadshare). Additional service types can also be added at run time
+// through the trader's addType operation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"autoadapt"
+)
+
+type typeList []string
+
+func (t *typeList) String() string { return fmt.Sprint(*t) }
+func (t *typeList) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trader:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9050", "TCP address to listen on")
+		check  = flag.Bool("check-idl", true, "type-check trader operations against the IDL")
+		types  typeList
+	)
+	flag.Var(&types, "type", "service type to register (repeatable)")
+	flag.Parse()
+	if len(types) == 0 {
+		types = typeList{"LoadShared"}
+	}
+
+	var sts []autoadapt.ServiceType
+	for _, name := range types {
+		sts = append(sts, autoadapt.ServiceType{
+			Name:  name,
+			Props: []string{"LoadAvg", "LoadAvgIncreasing", "Host"},
+		})
+	}
+	h, err := autoadapt.StartTrader(autoadapt.TraderOptions{
+		Network:  autoadapt.TCP(),
+		Address:  *listen,
+		Types:    sts,
+		CheckIDL: *check,
+		Logger:   log.New(os.Stderr, "trader ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	fmt.Printf("trading service ready\n  endpoint:  %s\n  reference: %s\n  types:     %v\n",
+		h.Endpoint(), h.Ref, types)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,53 @@
+package autoadapt
+
+// Every example must build and run to completion (each example exits
+// non-zero if its adaptation story did not play out, so "ran" means
+// "adapted").
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRunToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping example runs")
+	}
+	cases := []struct {
+		name string
+		want []string // substrings that must appear on stdout
+	}{
+		{"quickstart", []string{"[adaptation] switched to", "1 server switch(es)"}},
+		{"imageserver", []string{"image service moved to", "same adaptation code as quickstart"}},
+		{"loadsharing", []string{"requirements relaxed to limit 6", "moved to", "adaptive"}},
+		{"contextaware", []string{"user entered lab", "user entered auditorium", "3 display switches"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+tc.name)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s hung", tc.name)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.name, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", tc.name, want, out)
+				}
+			}
+		})
+	}
+}

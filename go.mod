@@ -1,0 +1,3 @@
+module autoadapt
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package agent implements the paper's *service agents* (§IV, Fig. 6):
+// "the elements responsible for announcing service offers to a trader.
+// Besides managing the service offers of one or more server components,
+// these service agents — typically implemented as Lua scripts — can create
+// new monitors or configure existing ones".
+//
+// An Agent runs on a server's host: it owns the host's ORB server, hosts
+// the service servant and a LoadAvg monitor (the paper's Fig. 3 monitor
+// with the Increasing and Load1 aspects), exports an offer whose dynamic
+// properties reference that monitor, and withdraws the offer on shutdown.
+// An optional AdaptScript configuration hook lets deployments customize
+// the monitor and the offer's properties at start-up, the way the paper's
+// agents do.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"autoadapt/internal/clock"
+	"autoadapt/internal/monitor"
+	"autoadapt/internal/orb"
+	"autoadapt/internal/script"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// Well-known object keys the agent registers.
+const (
+	ServiceKey = "service"
+	MonitorKey = "monitor/LoadAvg"
+)
+
+// Options configures an Agent.
+type Options struct {
+	// Network and Address the agent's ORB server listens on. Required.
+	Network orb.Network
+	Address string
+	// Lookup reaches the trading service. Required.
+	Lookup *trading.Lookup
+	// ServiceType of the offer to export. Required.
+	ServiceType string
+	// Servant implements the service. Required.
+	Servant orb.Servant
+	// LoadSource feeds the LoadAvg monitor (a hostenv.Host, a
+	// monitor.ProcFile reading the real /proc/loadavg, or any stub).
+	// Required.
+	LoadSource monitor.LoadSource
+	// MonitorPeriod is the monitor's update interval; the paper's Fig. 3
+	// uses one minute. Default 60s.
+	MonitorPeriod time.Duration
+	// Clock drives the monitor timer. Defaults to the real clock.
+	Clock clock.Clock
+	// StaticProps are added to the offer verbatim (e.g. Host name).
+	StaticProps map[string]wire.Value
+	// ConfigScript, if non-empty, runs at start with the primitives
+	// documented on RunConfigScript.
+	ConfigScript string
+	// Logger receives diagnostics. Nil discards.
+	Logger *log.Logger
+	// NotifyClient delivers monitor notifications; if nil, a client on
+	// Network is created and owned by the agent.
+	NotifyClient *orb.Client
+}
+
+// Agent is a running service agent.
+type Agent struct {
+	opts        Options
+	server      *orb.Server
+	mon         *monitor.Monitor
+	offerID     string
+	ownedClient *orb.Client
+	svcRef      wire.ObjRef
+	monRef      wire.ObjRef
+	extraProps  map[string]trading.PropValue
+}
+
+// Start brings the agent up: server, monitor, config script, offer export.
+func Start(ctx context.Context, opts Options) (*Agent, error) {
+	switch {
+	case opts.Network == nil:
+		return nil, errors.New("agent: Options.Network is required")
+	case opts.Lookup == nil:
+		return nil, errors.New("agent: Options.Lookup is required")
+	case opts.ServiceType == "":
+		return nil, errors.New("agent: Options.ServiceType is required")
+	case opts.Servant == nil:
+		return nil, errors.New("agent: Options.Servant is required")
+	case opts.LoadSource == nil:
+		return nil, errors.New("agent: Options.LoadSource is required")
+	}
+	if opts.MonitorPeriod == 0 {
+		opts.MonitorPeriod = time.Minute
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+
+	a := &Agent{opts: opts, extraProps: map[string]trading.PropValue{}}
+	ok := false
+	defer func() {
+		if !ok {
+			a.shutdown()
+		}
+	}()
+
+	srv, err := orb.NewServer(orb.ServerOptions{
+		Network: opts.Network, Address: opts.Address, Logger: opts.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.server = srv
+
+	notify := opts.NotifyClient
+	if notify == nil {
+		a.ownedClient = orb.NewClient(opts.Network)
+		notify = a.ownedClient
+	}
+
+	mon, err := monitor.NewLoadAverage(opts.LoadSource, opts.Clock, opts.MonitorPeriod,
+		monitor.ORBNotifier{Client: notify},
+		monitor.WithSelfRef(srv.RefFor(MonitorKey)),
+		monitor.WithLogger(opts.Logger))
+	if err != nil {
+		return nil, fmt.Errorf("agent: create monitor: %w", err)
+	}
+	a.mon = mon
+
+	a.svcRef = srv.Register(ServiceKey, "", opts.Servant)
+	a.monRef = srv.Register(MonitorKey, "", monitor.NewServant(mon))
+
+	if opts.ConfigScript != "" {
+		if err := a.RunConfigScript(opts.ConfigScript); err != nil {
+			return nil, err
+		}
+	}
+
+	// Prime the monitor so the offer's dynamic properties have values.
+	if err := mon.Tick(); err != nil {
+		a.logf("agent: initial monitor tick: %v", err)
+	}
+
+	props := map[string]trading.PropValue{
+		"LoadAvg":           {Dynamic: a.monRef, Aspect: monitor.Load1Aspect},
+		"LoadAvgIncreasing": {Dynamic: a.monRef, Aspect: "Increasing"},
+	}
+	for k, v := range opts.StaticProps {
+		props[k] = trading.PropValue{Static: v}
+	}
+	for k, v := range a.extraProps {
+		props[k] = v
+	}
+	id, err := opts.Lookup.Export(ctx, opts.ServiceType, a.svcRef, props)
+	if err != nil {
+		return nil, fmt.Errorf("agent: export offer: %w", err)
+	}
+	a.offerID = id
+	ok = true
+	return a, nil
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.opts.Logger != nil {
+		a.opts.Logger.Printf(format, args...)
+	}
+}
+
+// ServiceRef returns the exported service's object reference.
+func (a *Agent) ServiceRef() wire.ObjRef { return a.svcRef }
+
+// MonitorRef returns the load monitor's object reference.
+func (a *Agent) MonitorRef() wire.ObjRef { return a.monRef }
+
+// Monitor returns the agent's load monitor.
+func (a *Agent) Monitor() *monitor.Monitor { return a.mon }
+
+// OfferID returns the exported offer id.
+func (a *Agent) OfferID() string { return a.offerID }
+
+// Endpoint returns the agent's server endpoint.
+func (a *Agent) Endpoint() string { return a.server.Endpoint() }
+
+// RunConfigScript executes AdaptScript configuration code with these
+// primitives, mirroring the paper's script-implemented agents:
+//
+//	defineaspect(name, code)   — add an aspect to the load monitor
+//	setprop(name, value)       — add a static offer property
+//	exportaspect(prop, aspect) — add a dynamic offer property served by
+//	                             the monitor through the named aspect
+//	log(message)               — agent diagnostics
+func (a *Agent) RunConfigScript(src string) error {
+	in := script.New(script.Options{})
+	in.SetGlobal("defineaspect", script.Func("defineaspect", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+		if len(args) < 2 {
+			return nil, errors.New("defineaspect(name, code)")
+		}
+		return nil, a.mon.DefineAspect(args[0].Str(), args[1].Str())
+	}))
+	in.SetGlobal("setprop", script.Func("setprop", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+		if len(args) < 2 {
+			return nil, errors.New("setprop(name, value)")
+		}
+		wv, err := args[1].ToWire()
+		if err != nil {
+			return nil, err
+		}
+		a.extraProps[args[0].Str()] = trading.PropValue{Static: wv}
+		return nil, nil
+	}))
+	in.SetGlobal("exportaspect", script.Func("exportaspect", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+		if len(args) < 2 {
+			return nil, errors.New("exportaspect(prop, aspect)")
+		}
+		a.extraProps[args[0].Str()] = trading.PropValue{Dynamic: a.monRef, Aspect: args[1].Str()}
+		return nil, nil
+	}))
+	in.SetGlobal("log", script.Func("log", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+		if len(args) > 0 {
+			a.logf("agent config: %s", args[0].ToString())
+		}
+		return nil, nil
+	}))
+	if _, err := in.Eval("agent-config", src); err != nil {
+		return fmt.Errorf("agent: config script: %w", err)
+	}
+	return nil
+}
+
+// Close withdraws the offer and shuts everything down.
+func (a *Agent) Close(ctx context.Context) error {
+	var err error
+	if a.offerID != "" && a.opts.Lookup != nil {
+		if werr := a.opts.Lookup.Withdraw(ctx, a.offerID); werr != nil {
+			err = fmt.Errorf("agent: withdraw: %w", werr)
+		}
+		a.offerID = ""
+	}
+	a.shutdown()
+	return err
+}
+
+func (a *Agent) shutdown() {
+	if a.mon != nil {
+		a.mon.Close()
+	}
+	if a.ownedClient != nil {
+		_ = a.ownedClient.Close()
+	}
+	if a.server != nil {
+		_ = a.server.Close()
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/wire"
+)
+
+// NewRedirector packages a smart proxy's selection machinery as an ORB
+// request interceptor — the paper's §VI plan of applying adaptation
+// strategies "instead of the smart proxy mechanism" through portable
+// interceptors, so that *standard* clients (which invoke a fixed object
+// reference through the ORB) become auto-adaptive with no code changes.
+//
+// On every outbound request the interceptor first lets the proxy handle
+// pending events (running adaptation strategies, postponed semantics
+// preserved), then redirects the request to the proxy's currently selected
+// server. Install it on an orb.InterceptingClient:
+//
+//	ic := orb.NewInterceptingClient(client)
+//	ic.Use(core.NewRedirector(sp))
+//	ic.Invoke(ctx, anyRefOfThatService, "op", args...) // lands on sp.Current()
+func NewRedirector(sp *SmartProxy) orb.RequestInterceptor {
+	return orb.RequestInterceptorFuncs{
+		OnSend: func(ctx context.Context, info *orb.RequestInfo) (wire.ObjRef, error) {
+			if err := sp.Adapt(ctx); err != nil {
+				sp.logf("core: redirector adaptation: %v", err)
+			}
+			if cur, _ := sp.Current(); !cur.IsZero() {
+				return cur, nil
+			}
+			return info.Target, nil
+		},
+	}
+}

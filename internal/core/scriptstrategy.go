@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"autoadapt/internal/script"
+	"autoadapt/internal/wire"
+)
+
+// Script strategy support: the paper specifies adaptation strategies in an
+// interpreted language (Fig. 7), stored in a `_strategies` table indexed by
+// event name. This file builds the script-visible `self` object those
+// strategies receive and installs compiled script functions as Strategy
+// values.
+//
+// The self object exposes, matching Fig. 7's usage:
+//
+//	self:_select(query)            — re-query the trader and switch server;
+//	                                 returns true when a server was found
+//	self._observer                 — the proxy's EventObserver reference
+//	self._loadavgmon               — monitor object for the watched property
+//	                                 (generalised: self:monitor(prop))
+//	self._loadavg                  — set by the strategy itself (Fig. 7 line 4)
+//
+// Monitor objects support getValue(), getAspectValue(name), and
+// attachEventObserver(observer, event, code), all forwarded over the ORB.
+
+// SetScriptStrategy compiles src — AdaptScript source evaluating to a
+// function(self) — and installs it as the strategy for event. This is the
+// paper's `strategies` table entry: dynamically replaceable at run time.
+func (sp *SmartProxy) SetScriptStrategy(event, src string) error {
+	sp.scriptMu.Lock()
+	vs, err := sp.in.Eval("strategy:"+event, "return "+src)
+	if err != nil || len(vs) == 0 || !vs[0].IsFunction() {
+		sp.scriptMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: compile strategy %q: %w", event, err)
+		}
+		return fmt.Errorf("core: strategy %q did not evaluate to a function", event)
+	}
+	fn := vs[0]
+	sp.scriptMu.Unlock()
+
+	sp.SetStrategy(event, func(ctx context.Context, p *SmartProxy) error {
+		self := p.buildScriptSelf(ctx)
+		p.scriptMu.Lock()
+		_, err := p.in.Call(fn, []script.Value{self})
+		p.scriptMu.Unlock()
+		return err
+	})
+	return nil
+}
+
+// SetScriptStrategiesTable evaluates src, which must yield a table mapping
+// event names to functions — the paper's Fig. 7 form:
+//
+//	{ LoadIncrease = function(self) ... end }
+//
+// Every entry is installed as a strategy.
+func (sp *SmartProxy) SetScriptStrategiesTable(src string) error {
+	sp.scriptMu.Lock()
+	vs, err := sp.in.Eval("strategies", "return "+src)
+	sp.scriptMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: compile strategies table: %w", err)
+	}
+	if len(vs) == 0 {
+		return fmt.Errorf("core: strategies source yielded no value")
+	}
+	tbl, ok := vs[0].AsTable()
+	if !ok {
+		return fmt.Errorf("core: strategies source yielded %s, want table", vs[0].Kind())
+	}
+	var installErr error
+	tbl.Pairs(func(k, v script.Value) bool {
+		event, isStr := k.AsString()
+		if !isStr || !v.IsFunction() {
+			installErr = fmt.Errorf("core: strategies table entries must map event names to functions")
+			return false
+		}
+		fn := v
+		sp.SetStrategy(event, func(ctx context.Context, p *SmartProxy) error {
+			self := p.buildScriptSelf(ctx)
+			p.scriptMu.Lock()
+			_, err := p.in.Call(fn, []script.Value{self})
+			p.scriptMu.Unlock()
+			return err
+		})
+		return true
+	})
+	return installErr
+}
+
+// buildScriptSelf constructs the `self` table passed to script strategies.
+// It is rebuilt per activation so monitor bindings always track the current
+// selection.
+func (sp *SmartProxy) buildScriptSelf(ctx context.Context) script.Value {
+	self := script.NewTable()
+	self.SetString("_observer", script.Ref(sp.observerRef))
+
+	// self:_select(query) — Fig. 7 line 9.
+	self.SetString("_select", script.Func("_select", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+		query := ""
+		if len(args) > 1 {
+			query = args[1].Str()
+		}
+		// Runs without sp.mu: Select takes its own locks. The strategy
+		// runs under adaptMu, so concurrent adaptations cannot interleave.
+		ok, err := sp.selectUnlockedFromScript(ctx, query)
+		if err != nil {
+			return []script.Value{script.Bool(false)}, nil
+		}
+		return []script.Value{script.Bool(ok)}, nil
+	}))
+
+	// self:monitor(prop) — generalized accessor; also bind the watched
+	// properties as _<lowercased-prop>mon fields (Fig. 7's _loadavgmon).
+	makeMonObj := func(ref wire.ObjRef) script.Value {
+		t := script.NewTable()
+		t.SetString("ref", script.Ref(ref))
+		t.SetString("getValue", script.Func("monitor.getValue", func(_ *script.Interp, _ []script.Value) ([]script.Value, error) {
+			rs, err := sp.opts.Client.Invoke(ctx, ref, "getValue")
+			if err != nil {
+				return nil, err
+			}
+			return fromWireAll(rs), nil
+		}))
+		t.SetString("getAspectValue", script.Func("monitor.getAspectValue", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("getAspectValue: name required")
+			}
+			rs, err := sp.opts.Client.Invoke(ctx, ref, "getAspectValue", wire.String(args[1].Str()))
+			if err != nil {
+				return nil, err
+			}
+			return fromWireAll(rs), nil
+		}))
+		t.SetString("attachEventObserver", script.Func("monitor.attachEventObserver", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+			if len(args) < 4 {
+				return nil, fmt.Errorf("attachEventObserver: observer, event, code required")
+			}
+			obsRef, _ := args[1].AsRef()
+			rs, err := sp.opts.Client.Invoke(ctx, ref, "attachEventObserver",
+				wire.Ref(obsRef), wire.String(args[2].Str()), wire.String(args[3].Str()))
+			if err != nil {
+				return nil, err
+			}
+			// Re-arming a watch from a strategy replaces the proxy's
+			// managed observation on this monitor (Fig. 7 relaxation).
+			if obsRef == sp.observerRef && len(rs) > 0 {
+				sp.replaceObservation(ref, int(rs[0].Num()))
+			}
+			return fromWireAll(rs), nil
+		}))
+		t.SetString("detachEventObserver", script.Func("monitor.detachEventObserver", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("detachEventObserver: id required")
+			}
+			_, err := sp.opts.Client.Invoke(ctx, ref, "detachEventObserver", wire.Int(int(args[1].Num())))
+			return nil, err
+		}))
+		return script.TableVal(t)
+	}
+
+	sp.mu.Lock()
+	sel := sp.sel
+	sp.mu.Unlock()
+	if sel != nil {
+		for prop := range sel.result.Offer.Props {
+			if ref, ok := sel.result.Offer.MonitorFor(prop); ok {
+				mon := makeMonObj(ref)
+				self.SetString("_"+lowercase(prop)+"mon", mon)
+				self.SetString("_monitor_"+prop, mon)
+			}
+		}
+		self.SetString("_server", script.Ref(sel.result.Offer.Ref))
+	}
+	return script.TableVal(self)
+}
+
+// selectUnlockedFromScript is Select without the re-entrant adaptMu (the
+// caller already holds it via runStrategies) and without sp.mu held.
+func (sp *SmartProxy) selectUnlockedFromScript(ctx context.Context, constraint string) (bool, error) {
+	return sp.Select(ctx, constraint)
+}
+
+func fromWireAll(vs []wire.Value) []script.Value {
+	out := make([]script.Value, len(vs))
+	for i, v := range vs {
+		out[i] = script.FromWire(v)
+	}
+	return out
+}
+
+func lowercase(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,552 @@
+// Package core implements the paper's primary contribution: the smart
+// proxy (§IV, §IV-A, Fig. 5).
+//
+// A smart proxy represents a *type* of service, not a specific server. It
+// selects the component that best suits the application's nonfunctional
+// requirements through the trading service, registers itself as an event
+// observer on the monitors associated with the selected offer, queues
+// incoming notifications, and — immediately before the next service
+// invocation — activates the adaptation strategy associated with each
+// pending event ("the postponement of event handling avoids conflicts with
+// ongoing traffic when a reconfiguration is done"). Adaptation strategies
+// are ordinary Go functions or AdaptScript functions (the paper's Fig. 7
+// `strategies` table), kept entirely outside the application's functional
+// code.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"autoadapt/internal/clock"
+	"autoadapt/internal/orb"
+	"autoadapt/internal/script"
+	"autoadapt/internal/scriptbind"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// Errors reported by smart proxies.
+var (
+	// ErrNoOffer is returned when selection finds no acceptable offer and
+	// no fallback succeeds.
+	ErrNoOffer = errors.New("core: no offer satisfies the requirements")
+	// ErrNotBound is returned by Invoke before any server is selected.
+	ErrNotBound = errors.New("core: smart proxy is not bound to a server")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: smart proxy closed")
+)
+
+// Strategy is an adaptation strategy: it runs with the proxy's adaptation
+// lock held, just before the invocation that triggered its activation.
+type Strategy func(ctx context.Context, sp *SmartProxy) error
+
+// Watch declares one event subscription installed on every server the
+// proxy binds to: on the monitor serving dynamic property Prop, register
+// interest in Event with the shipped Predicate (AdaptScript source,
+// evaluated at the monitor — the paper's Fig. 4).
+type Watch struct {
+	Prop      string
+	Event     string
+	Predicate string
+}
+
+// Options configures a smart proxy.
+type Options struct {
+	// Client performs all outbound invocations. Required.
+	Client *orb.Client
+	// Lookup reaches the trading service. Required unless every binding
+	// is made explicitly with BindTo.
+	Lookup *trading.Lookup
+	// ServiceType is the traded service type to represent.
+	ServiceType string
+	// Constraint is the selection constraint (paper §V: the proxy
+	// "selects the server component that has the least load average",
+	// "eliminating the components hosted on the system that show a
+	// tendency for load increase").
+	Constraint string
+	// Preference orders matching offers; the first is chosen.
+	Preference string
+	// FallbackSortOnly enables the paper's degraded query: when no offer
+	// satisfies Constraint, re-query with no constraint, preference only.
+	FallbackSortOnly bool
+	// Watches are installed on each newly selected server's monitors.
+	Watches []Watch
+	// ObserverServer hosts this proxy's EventObserver callback object.
+	// Required when Watches are declared.
+	ObserverServer *orb.Server
+	// Immediate disables the paper's postponed event handling: strategies
+	// run in the notification upcall instead of before the next
+	// invocation. This is ablation A1 (experiment E3).
+	Immediate bool
+	// Logger receives adaptation diagnostics; nil discards.
+	Logger *log.Logger
+	// MaxScriptSteps bounds script strategy execution.
+	MaxScriptSteps int
+	// Failover treats availability as a nonfunctional requirement: when an
+	// invocation fails with a transport-level error (server crashed,
+	// connection lost — not application errors), the proxy re-selects with
+	// its configured constraint and retries the invocation once.
+	Failover bool
+}
+
+type observation struct {
+	monitor wire.ObjRef
+	id      int
+}
+
+type selection struct {
+	result trading.QueryResult
+	proxy  *orb.Proxy
+	obs    []observation
+}
+
+// Stats counts proxy activity for the experiment harness.
+type Stats struct {
+	Invocations   int64
+	Selections    int64
+	Switches      int64
+	EventsQueued  int64
+	EventsHandled int64
+	FailedInvokes int64
+}
+
+var observerSeq atomic.Int64
+
+// SmartProxy is the paper's smart proxy.
+type SmartProxy struct {
+	opts        Options
+	observerRef wire.ObjRef
+	observerKey string
+
+	mu         sync.Mutex // guards selection, strategies, queue, stats
+	sel        *selection
+	strategies map[string]Strategy
+	queue      []string
+	closed     bool
+	stats      Stats
+
+	adaptMu sync.Mutex // serializes adaptation passes
+
+	scriptMu sync.Mutex     // guards in: strategy compilation and execution
+	in       *script.Interp // strategy scripts
+
+	interceptors []Interceptor
+
+	// §IV-A behaviors: per-operation routes and alternative methods
+	// (see routing.go). Guarded by mu.
+	routes map[string]*opRoute
+	altOps map[string]string
+}
+
+// Interceptor observes every invocation passing through the proxy (the
+// paper's "trivial implementation of service invocation interceptors").
+// Returning an error aborts the invocation.
+type Interceptor func(op string, args []wire.Value) error
+
+// New creates an unbound smart proxy. Call Bind (or BindTo) before Invoke.
+func New(opts Options) (*SmartProxy, error) {
+	if opts.Client == nil {
+		return nil, errors.New("core: Options.Client is required")
+	}
+	if len(opts.Watches) > 0 && opts.ObserverServer == nil {
+		return nil, errors.New("core: Options.ObserverServer is required when Watches are set")
+	}
+	sp := &SmartProxy{
+		opts:       opts,
+		strategies: make(map[string]Strategy),
+		in: script.New(script.Options{
+			MaxSteps: opts.MaxScriptSteps,
+			Clock:    clock.Real{}, // §VI time-of-day context for strategies
+		}),
+	}
+	// Script strategies get the full LuaCorba/LuaTrading surface: they can
+	// invoke arbitrary objects and query the trader directly, beyond the
+	// curated `self` object (paper §IV-A: "the full power of a programming
+	// language").
+	scriptbind.InstallORB(sp.in, opts.Client)
+	if opts.Lookup != nil {
+		scriptbind.InstallTrading(sp.in, opts.Lookup)
+	}
+	if opts.ObserverServer != nil {
+		sp.observerKey = "observer/" + opts.ServiceType + "/" + strconv.FormatInt(observerSeq.Add(1), 10)
+		sp.observerRef = opts.ObserverServer.Register(sp.observerKey, "EventObserver",
+			orb.ServantFunc(sp.observerInvoke))
+	}
+	return sp, nil
+}
+
+func (sp *SmartProxy) logf(format string, args ...any) {
+	if sp.opts.Logger != nil {
+		sp.opts.Logger.Printf(format, args...)
+	}
+}
+
+// ObserverRef returns the proxy's EventObserver callback reference (zero
+// if no observer server was configured).
+func (sp *SmartProxy) ObserverRef() wire.ObjRef { return sp.observerRef }
+
+// observerInvoke implements the EventObserver interface (Fig. 2).
+func (sp *SmartProxy) observerInvoke(op string, args []wire.Value) ([]wire.Value, error) {
+	if op != "notifyEvent" {
+		return nil, orb.Appf("observer: no such operation %q", op)
+	}
+	event := ""
+	if len(args) > 0 {
+		event = args[0].Str()
+	}
+	sp.OnEvent(event)
+	return nil, nil
+}
+
+// OnEvent receives an event notification. In the default (postponed) mode
+// it enqueues the event for handling at the next invocation; duplicate
+// pending events collapse. In Immediate mode the strategy runs here.
+func (sp *SmartProxy) OnEvent(event string) {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return
+	}
+	sp.stats.EventsQueued++
+	if sp.opts.Immediate {
+		sp.mu.Unlock()
+		// Immediate mode: adapt in the upcall (ablation A1).
+		if err := sp.runStrategies(context.Background(), []string{event}); err != nil {
+			sp.logf("core: immediate strategy for %q: %v", event, err)
+		}
+		return
+	}
+	for _, e := range sp.queue {
+		if e == event {
+			sp.mu.Unlock()
+			return // collapse duplicates
+		}
+	}
+	sp.queue = append(sp.queue, event)
+	sp.mu.Unlock()
+}
+
+// PendingEvents returns the queued event ids (diagnostics).
+func (sp *SmartProxy) PendingEvents() []string {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	out := make([]string, len(sp.queue))
+	copy(out, sp.queue)
+	return out
+}
+
+// SetStrategy installs a Go adaptation strategy for event.
+func (sp *SmartProxy) SetStrategy(event string, s Strategy) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.strategies[event] = s
+}
+
+// Stats returns a snapshot of activity counters.
+func (sp *SmartProxy) Stats() Stats {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.stats
+}
+
+// AddInterceptor appends an invocation interceptor.
+func (sp *SmartProxy) AddInterceptor(i Interceptor) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.interceptors = append(sp.interceptors, i)
+}
+
+// Current returns the currently selected server's reference (zero if
+// unbound) and the offer it came from.
+func (sp *SmartProxy) Current() (wire.ObjRef, trading.QueryResult) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.sel == nil {
+		return wire.ObjRef{}, trading.QueryResult{}
+	}
+	return sp.sel.result.Offer.Ref, sp.sel.result
+}
+
+// Bind performs initial selection with the configured constraint,
+// applying the sort-only fallback if enabled (paper §V).
+func (sp *SmartProxy) Bind(ctx context.Context) error {
+	ok, err := sp.Select(ctx, sp.opts.Constraint)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return nil
+	}
+	if sp.opts.FallbackSortOnly {
+		ok, err = sp.Select(ctx, "")
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+	return ErrNoOffer
+}
+
+// Select queries the trader with the given constraint (and the proxy's
+// configured preference), switching to the best offer if one is found.
+// It reports whether a server was selected. Keeping the current server
+// when the query comes back empty is the paper's Fig. 7 behaviour.
+func (sp *SmartProxy) Select(ctx context.Context, constraint string) (bool, error) {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return false, ErrClosed
+	}
+	lookup := sp.opts.Lookup
+	sp.stats.Selections++
+	sp.mu.Unlock()
+	if lookup == nil {
+		return false, errors.New("core: no trading lookup configured")
+	}
+	results, err := lookup.Query(ctx, sp.opts.ServiceType, constraint, sp.opts.Preference, 1)
+	if err != nil {
+		return false, fmt.Errorf("core: select: %w", err)
+	}
+	if len(results) == 0 {
+		return false, nil
+	}
+	return true, sp.bindResult(ctx, results[0])
+}
+
+// BindTo binds the proxy directly to a query result (bypassing the
+// trader), installing watches. Exposed for tests and static baselines.
+func (sp *SmartProxy) BindTo(ctx context.Context, r trading.QueryResult) error {
+	return sp.bindResult(ctx, r)
+}
+
+func (sp *SmartProxy) bindResult(ctx context.Context, r trading.QueryResult) error {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return ErrClosed
+	}
+	old := sp.sel
+	if old != nil && old.result.Offer.Ref == r.Offer.Ref {
+		// Same server: keep existing observations.
+		sp.sel.result = r
+		sp.mu.Unlock()
+		return nil
+	}
+	sp.mu.Unlock()
+
+	// Install watches on the new server's monitors before switching, so
+	// no event window is lost.
+	newSel := &selection{result: r, proxy: sp.opts.Client.NewProxy(r.Offer.Ref)}
+	for _, w := range sp.opts.Watches {
+		mon, ok := r.Offer.MonitorFor(w.Prop)
+		if !ok {
+			sp.logf("core: offer %s has no monitor for property %q", r.Offer.ID, w.Prop)
+			continue
+		}
+		idv, err := sp.opts.Client.Invoke(ctx, mon, "attachEventObserver",
+			wire.Ref(sp.observerRef), wire.String(w.Event), wire.String(w.Predicate))
+		if err != nil {
+			sp.logf("core: attach %q on %s: %v", w.Event, mon, err)
+			continue
+		}
+		id := 0
+		if len(idv) > 0 {
+			id = int(idv[0].Num())
+		}
+		newSel.obs = append(newSel.obs, observation{monitor: mon, id: id})
+	}
+
+	sp.mu.Lock()
+	if sp.closed {
+		obs := newSel.obs
+		sp.mu.Unlock()
+		sp.detach(obs)
+		return ErrClosed
+	}
+	sp.sel = newSel
+	if old != nil {
+		sp.stats.Switches++
+	}
+	sp.mu.Unlock()
+
+	if old != nil {
+		sp.detach(old.obs)
+	}
+	return nil
+}
+
+// replaceObservation swaps the proxy's managed observation(s) on mon for
+// the freshly attached newID. Script strategies that re-arm a watch with a
+// relaxed predicate (Fig. 7 lines 10-17) go through this path, so the old
+// observer stops firing and Close still cleans up the new one.
+func (sp *SmartProxy) replaceObservation(mon wire.ObjRef, newID int) {
+	sp.mu.Lock()
+	var toDetach []observation
+	if sp.sel != nil {
+		kept := sp.sel.obs[:0]
+		for _, o := range sp.sel.obs {
+			if o.monitor == mon {
+				toDetach = append(toDetach, o)
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		sp.sel.obs = append(kept, observation{monitor: mon, id: newID})
+	}
+	sp.mu.Unlock()
+	sp.detach(toDetach)
+}
+
+// detach best-effort removes observations from their monitors.
+func (sp *SmartProxy) detach(obs []observation) {
+	for _, o := range obs {
+		_, err := sp.opts.Client.Invoke(context.Background(), o.monitor,
+			"detachEventObserver", wire.Int(o.id))
+		if err != nil {
+			sp.logf("core: detach observer %d from %s: %v", o.id, o.monitor, err)
+		}
+	}
+}
+
+// Invoke forwards op to the currently selected server, first handling any
+// pending events by activating their adaptation strategies (paper §IV-A).
+func (sp *SmartProxy) Invoke(ctx context.Context, op string, args ...wire.Value) ([]wire.Value, error) {
+	if err := sp.Adapt(ctx); err != nil {
+		// Adaptation failures must not break the functional path; the
+		// paper's strategies degrade (keep current server, relax).
+		sp.logf("core: adaptation before %q: %v", op, err)
+	}
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sel := sp.sel
+	route := sp.routes[op]
+	interceptors := sp.interceptors
+	sp.stats.Invocations++
+	sp.mu.Unlock()
+	for _, ic := range interceptors {
+		if err := ic(op, args); err != nil {
+			return nil, fmt.Errorf("core: interceptor rejected %q: %w", op, err)
+		}
+	}
+	// Per-operation routing (paper §IV-A: "choice of different components
+	// for different requested operations").
+	if route != nil {
+		return sp.routedInvoke(ctx, route, op, args)
+	}
+	if sel == nil {
+		return nil, ErrNotBound
+	}
+	rs, err := sel.proxy.Call(ctx, op, args...)
+	if err != nil {
+		sp.mu.Lock()
+		sp.stats.FailedInvokes++
+		sp.mu.Unlock()
+		if rs2, ok := sp.tryAlternative(ctx, sel.proxy, op, args, err); ok {
+			return rs2, nil
+		}
+		if sp.opts.Failover && isTransportError(err) {
+			if rs, ferr := sp.failover(ctx, sel, op, args); ferr == nil {
+				return rs, nil
+			}
+		}
+		return nil, err
+	}
+	return rs, nil
+}
+
+// isTransportError distinguishes infrastructure failures (worth a
+// failover) from application errors returned by the servant (which must
+// surface to the caller unchanged).
+func isTransportError(err error) bool {
+	var re *orb.RemoteError
+	return !errors.As(err, &re)
+}
+
+// failover re-selects away from the failed server and retries once.
+func (sp *SmartProxy) failover(ctx context.Context, failed *selection, op string, args []wire.Value) ([]wire.Value, error) {
+	sp.logf("core: failover: %s unreachable, re-selecting", failed.result.Offer.Ref)
+	ok, err := sp.Select(ctx, sp.opts.Constraint)
+	if err != nil {
+		return nil, err
+	}
+	if !ok && sp.opts.FallbackSortOnly {
+		ok, err = sp.Select(ctx, "")
+		if err != nil {
+			return nil, err
+		}
+	}
+	sp.mu.Lock()
+	sel := sp.sel
+	sp.mu.Unlock()
+	if !ok || sel == nil || sel.result.Offer.Ref == failed.result.Offer.Ref {
+		return nil, ErrNoOffer
+	}
+	return sel.proxy.Call(ctx, op, args...)
+}
+
+// Adapt drains the event queue and runs the strategy for each pending
+// event. Applications may call it explicitly ("a smart proxy can also
+// explicitly activate the adaptation strategies that it implements,
+// independently of received events").
+func (sp *SmartProxy) Adapt(ctx context.Context) error {
+	sp.mu.Lock()
+	if len(sp.queue) == 0 {
+		sp.mu.Unlock()
+		return nil
+	}
+	events := sp.queue
+	sp.queue = nil
+	sp.mu.Unlock()
+	return sp.runStrategies(ctx, events)
+}
+
+func (sp *SmartProxy) runStrategies(ctx context.Context, events []string) error {
+	sp.adaptMu.Lock()
+	defer sp.adaptMu.Unlock()
+	var firstErr error
+	for _, e := range events {
+		sp.mu.Lock()
+		s := sp.strategies[e]
+		sp.stats.EventsHandled++
+		sp.mu.Unlock()
+		if s == nil {
+			sp.logf("core: no strategy for event %q", e)
+			continue
+		}
+		if err := s(ctx, sp); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: strategy %q: %w", e, err)
+		}
+	}
+	return firstErr
+}
+
+// Close detaches observations and unregisters the observer servant.
+func (sp *SmartProxy) Close() {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return
+	}
+	sp.closed = true
+	var obs []observation
+	if sp.sel != nil {
+		obs = sp.sel.obs
+		sp.sel = nil
+	}
+	sp.mu.Unlock()
+	sp.detach(obs)
+	if sp.opts.ObserverServer != nil {
+		sp.opts.ObserverServer.Unregister(sp.observerKey)
+	}
+}

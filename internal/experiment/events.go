@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"autoadapt/internal/monitor"
+	"autoadapt/internal/orb"
+	"autoadapt/internal/wire"
+)
+
+// Experiment E2 — event-driven monitoring vs polling (paper §III), plus
+// ablation A3 (predicate evaluated at the monitor vs values shipped to the
+// observer and evaluated locally).
+//
+// One monitor observes a property following a deterministic trajectory.
+// The application cares about one condition: value above a threshold while
+// rising. Three mechanisms detect it:
+//
+//   - event:   the paper's design — the predicate is shipped to the monitor
+//     and evaluated there; only firings cross the network.
+//   - push:    the monitor ships every new value to the observer, which
+//     evaluates the predicate locally (A3).
+//   - poll-P:  the observer polls getValue+getAspectValue every P.
+//
+// Metrics: client↔monitor interactions (messages), detections, and mean
+// detection latency relative to the tick where the condition became true.
+
+// EventVsPollingConfig parameterizes E2.
+type EventVsPollingConfig struct {
+	Duration   time.Duration   // simulated run (default 30min)
+	TickPeriod time.Duration   // monitor update period (default 10s)
+	Threshold  float64         // condition threshold (default 50)
+	PollEvery  []time.Duration // polling periods to compare (default 5s, 30s, 60s)
+}
+
+func (c *EventVsPollingConfig) fillDefaults() {
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Minute
+	}
+	if c.TickPeriod == 0 {
+		c.TickPeriod = 10 * time.Second
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 50
+	}
+	if len(c.PollEvery) == 0 {
+		c.PollEvery = []time.Duration{5 * time.Second, 30 * time.Second, time.Minute}
+	}
+}
+
+// EventVsPollingResult is one mechanism's row.
+type EventVsPollingResult struct {
+	Mode           string
+	Interactions   int64
+	Detections     int64
+	TrueTicks      int64 // ticks where the condition actually held
+	MeanLatencySec float64
+}
+
+// trajectory is the property value at simulated time t: a sawtooth that
+// spends roughly a third of its period above 50 and rising.
+func trajectory(t time.Duration) float64 {
+	period := 5 * time.Minute
+	phase := float64(t%period) / float64(period) // 0..1
+	return phase * 90                            // rises 0→90, then resets
+}
+
+// EventVsPolling runs E2 and returns one row per mechanism.
+func EventVsPolling(cfg EventVsPollingConfig) ([]EventVsPollingResult, error) {
+	cfg.fillDefaults()
+	var results []EventVsPollingResult
+
+	run := func(mode string, poll time.Duration) (EventVsPollingResult, error) {
+		res := EventVsPollingResult{Mode: mode}
+		net := orb.NewInprocNetwork()
+
+		// Counting client: every Invoke/oneway through it is an interaction.
+		var interactions int64
+		var mu sync.Mutex
+		countingClient := orb.NewClient(net)
+		defer countingClient.Close()
+
+		notifyClient := orb.NewClient(net)
+		defer notifyClient.Close()
+
+		obsSrv, err := orb.NewServer(orb.ServerOptions{Network: net, Address: "observer-host"})
+		if err != nil {
+			return res, err
+		}
+		defer obsSrv.Close()
+
+		var detections int64
+		var latencies []float64
+		var lastBecameTrue time.Duration = -1
+		now := time.Duration(0)
+		condTrueAtLastTick := false
+
+		recordDetection := func() {
+			mu.Lock()
+			defer mu.Unlock()
+			detections++
+			if lastBecameTrue >= 0 {
+				latencies = append(latencies, (now - lastBecameTrue).Seconds())
+				lastBecameTrue = -1 // latency measured once per rising edge
+			}
+		}
+
+		var localPredicateTrue func(v float64, prev float64) bool
+		threshold := cfg.Threshold
+		localPredicateTrue = func(v, prev float64) bool { return v > threshold && v > prev }
+
+		// Monitor with synchronous notification so counts are exact.
+		m, err := monitor.New(monitor.Options{
+			Name: "Prop",
+			Notifier: monitor.NotifierFunc(func(ref wire.ObjRef, eventID string) {
+				mu.Lock()
+				interactions++ // one oneway message monitor→observer
+				mu.Unlock()
+				if eventID == "Crossed" {
+					recordDetection()
+				}
+			}),
+		})
+		if err != nil {
+			return res, err
+		}
+		defer m.Close()
+		if err := m.DefineAspect("Increasing", `function(self, v, mon)
+			local prev = self.prev
+			self.prev = v
+			if prev ~= nil and v > prev then return "yes" end
+			return "no"
+		end`); err != nil {
+			return res, err
+		}
+
+		monHost, err := orb.NewServer(orb.ServerOptions{Network: net, Address: "monitor-host"})
+		if err != nil {
+			return res, err
+		}
+		defer monHost.Close()
+		monRef := monHost.Register("monitor", "", monitor.NewServant(m))
+
+		obsRef := obsSrv.Register("observer", "", orb.ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+			return nil, nil
+		}))
+
+		switch mode {
+		case "event":
+			pred := fmt.Sprintf(`function(observer, value, monitor)
+				return value > %g and monitor:getAspectValue("Increasing") == "yes"
+			end`, cfg.Threshold)
+			if _, err := m.AttachObserver(obsRef, "Crossed", pred); err != nil {
+				return res, err
+			}
+			mu.Lock()
+			interactions++ // the attach round trip
+			mu.Unlock()
+		case "push":
+			// A3: ship every value; observer evaluates locally.
+			if _, err := m.AttachObserver(obsRef, "ValueUpdate", "function() return true end"); err != nil {
+				return res, err
+			}
+			mu.Lock()
+			interactions++
+			mu.Unlock()
+		}
+
+		prevVal := 0.0
+		nextPoll := time.Duration(0)
+		prevPolled := 0.0
+		pushPrev := 0.0
+
+		for now = 0; now < cfg.Duration; now += cfg.TickPeriod {
+			v := trajectory(now)
+			condNow := localPredicateTrue(v, prevVal)
+			if condNow && !condTrueAtLastTick {
+				mu.Lock()
+				lastBecameTrue = now
+				mu.Unlock()
+			}
+			if condNow {
+				res.TrueTicks++
+			}
+			condTrueAtLastTick = condNow
+
+			if err := m.SetValue(wire.Number(v)); err != nil {
+				return res, err
+			}
+			if mode == "push" {
+				// The pushed notification was counted by the notifier; the
+				// observer evaluates locally against its previous value.
+				if err := m.Tick(); err != nil {
+					return res, err
+				}
+				if localPredicateTrue(v, pushPrev) {
+					recordDetection()
+				}
+				pushPrev = v
+			} else {
+				if err := m.Tick(); err != nil {
+					return res, err
+				}
+			}
+
+			if mode != "event" && mode != "push" {
+				// Polling: one getValue round trip per poll; the poller
+				// compares consecutive samples locally to detect "rising".
+				for nextPoll <= now {
+					mu.Lock()
+					interactions++
+					mu.Unlock()
+					rs, err := countingClient.Invoke(context.Background(), monRef, "getValue")
+					if err != nil {
+						return res, err
+					}
+					got := rs[0].Num()
+					if localPredicateTrue(got, prevPolled) {
+						recordDetection()
+					}
+					prevPolled = got
+					nextPoll += poll
+				}
+			}
+			prevVal = v
+		}
+		mu.Lock()
+		res.Interactions = interactions
+		res.Detections = detections
+		res.MeanLatencySec = Mean(latencies)
+		mu.Unlock()
+		return res, nil
+	}
+
+	r, err := run("event", 0)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, r)
+	r, err = run("push", 0)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, r)
+	for _, p := range cfg.PollEvery {
+		r, err := run(fmt.Sprintf("poll-%s", p), p)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// EventVsPollingTable renders E2.
+func EventVsPollingTable(cfg EventVsPollingConfig) (*Table, []EventVsPollingResult, error) {
+	rs, err := EventVsPolling(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTable(
+		"E2 — Event-driven monitoring vs polling (paper §III) + A3 (predicate placement)",
+		"mode", "interactions", "detections", "condition ticks", "mean latency")
+	for _, r := range rs {
+		t.AddRow(r.Mode, I(r.Interactions), I(r.Detections), I(r.TrueTicks),
+			fmt.Sprintf("%.1fs", r.MeanLatencySec))
+	}
+	return t, rs, nil
+}

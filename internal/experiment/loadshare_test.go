@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// shortE1 keeps test runs fast: 4 servers, 6 clients, 8 simulated minutes.
+func shortE1() LoadShareConfig {
+	return LoadShareConfig{
+		Servers:        4,
+		Clients:        6,
+		Duration:       8 * time.Minute,
+		Think:          2 * time.Second,
+		Demand:         500 * time.Millisecond,
+		Threshold:      2,
+		BackgroundLoad: 6,
+		BackgroundAt:   3 * time.Minute,
+	}
+}
+
+func TestLoadSharingAdaptiveRebalances(t *testing.T) {
+	adaptive, err := LoadSharing(shortE1(), PolicyAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := LoadSharing(shortE1(), PolicyStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adaptive: %+v", adaptive)
+	t.Logf("static:   %+v", static)
+
+	if adaptive.Switches == 0 {
+		t.Error("adaptive policy never switched servers")
+	}
+	if static.Switches != 0 {
+		t.Error("static policy somehow switched servers")
+	}
+	// The paper's claim: one-shot selection leaves the system unbalanced;
+	// dynamic switching rebalances. All static clients herd onto one
+	// server, so its imbalance must exceed the adaptive policy's.
+	if !(adaptive.ImbalanceCoV < static.ImbalanceCoV) {
+		t.Errorf("imbalance: adaptive %.3f !< static %.3f",
+			adaptive.ImbalanceCoV, static.ImbalanceCoV)
+	}
+	// And the adaptive clients answer faster under the disturbance.
+	if !(adaptive.MeanRespSec < static.MeanRespSec) {
+		t.Errorf("mean resp: adaptive %.3f !< static %.3f",
+			adaptive.MeanRespSec, static.MeanRespSec)
+	}
+	// Static uses exactly one trader interaction per client; adaptive
+	// re-queries on events.
+	if adaptive.TraderQueries <= int64(shortE1().Clients) {
+		t.Errorf("adaptive trader queries = %d, want more than one per client", adaptive.TraderQueries)
+	}
+}
+
+func TestLoadSharingAllPoliciesRun(t *testing.T) {
+	cfg := shortE1()
+	cfg.Duration = 4 * time.Minute
+	table, results, err := LoadSharingTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(AllPolicies) {
+		t.Fatalf("results = %d, want %d", len(results), len(AllPolicies))
+	}
+	out := table.Render()
+	t.Logf("\n%s", out)
+	for _, p := range AllPolicies {
+		r := results[indexOf(AllPolicies, p)]
+		if r.Requests == 0 {
+			t.Errorf("policy %s served no requests", p)
+		}
+		sum := int64(0)
+		for _, s := range r.PerServer {
+			sum += s
+		}
+		if sum != r.Requests {
+			t.Errorf("policy %s: per-server sum %d != requests %d", p, sum, r.Requests)
+		}
+	}
+}
+
+func TestLoadSharingUnknownPolicy(t *testing.T) {
+	if _, err := LoadSharing(shortE1(), "psychic"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// Ablation A2 (part of E5) — dynamic properties vs static snapshots.
+//
+// The paper's §IV case for dynamic properties is that they "reflect
+// execution conditions that evolve dynamically". The alternative — offers
+// carrying static values that agents refresh every R seconds — serves
+// stale data between refreshes. This ablation quantifies the damage: N
+// servers whose loads follow phase-shifted sinusoids; a client queries
+// "least loaded under the threshold" once per second; a selection is a
+// *misselection* when the chosen server's TRUE load violates the
+// constraint at selection time, and *suboptimal* when a different server
+// was truly lighter by a margin.
+
+// StalenessConfig parameterizes A2.
+type StalenessConfig struct {
+	Servers   int           // default 5
+	Duration  time.Duration // simulated (default 10min)
+	QueryEach time.Duration // client query period (default 1s)
+	Threshold float64       // constraint limit (default 5)
+	// RefreshEach are the snapshot refresh periods to compare against the
+	// dynamic-property trader (default 10s, 60s).
+	RefreshEach []time.Duration
+}
+
+func (c *StalenessConfig) fillDefaults() {
+	if c.Servers == 0 {
+		c.Servers = 5
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.QueryEach == 0 {
+		c.QueryEach = time.Second
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if len(c.RefreshEach) == 0 {
+		c.RefreshEach = []time.Duration{10 * time.Second, time.Minute}
+	}
+}
+
+// StalenessResult is one mode's row.
+type StalenessResult struct {
+	Mode          string
+	Queries       int64
+	Misselections int64 // chosen server truly violates the constraint
+	Suboptimal    int64 // a server at least 20% lighter existed
+	EmptyResults  int64 // query matched nothing although a server qualified
+}
+
+// trueLoad is server i's load at simulated time t: sinusoids sweeping
+// through the threshold with distinct phases.
+func trueLoad(i int, t time.Duration, threshold float64) float64 {
+	period := 4 * time.Minute
+	phase := 2 * math.Pi * (float64(t%period)/float64(period) + float64(i)*0.17)
+	return threshold * (1 + 0.8*math.Sin(phase))
+}
+
+// memResolver serves dynamic lookups from the current true loads.
+type memResolver struct{ loads func(ref wire.ObjRef) float64 }
+
+func (r memResolver) ResolveDynamic(_ context.Context, ref wire.ObjRef, _ string) (wire.Value, error) {
+	return wire.Number(r.loads(ref)), nil
+}
+
+// Staleness runs A2 and returns one row per mode ("dynamic",
+// "snapshot-<R>" per refresh period).
+func Staleness(cfg StalenessConfig) ([]StalenessResult, error) {
+	cfg.fillDefaults()
+	var out []StalenessResult
+
+	run := func(mode string, refresh time.Duration) (StalenessResult, error) {
+		res := StalenessResult{Mode: mode}
+		now := time.Duration(0)
+		refAt := func(i int) wire.ObjRef {
+			return wire.ObjRef{Endpoint: fmt.Sprintf("inproc|s-%d", i), Key: "svc"}
+		}
+		loadOf := func(ref wire.ObjRef) float64 {
+			var i int
+			if _, err := fmt.Sscanf(ref.Endpoint, "inproc|s-%d", &i); err != nil {
+				return 0
+			}
+			return trueLoad(i, now, cfg.Threshold)
+		}
+
+		tr := trading.NewTrader(memResolver{loads: loadOf})
+		tr.AddType(trading.ServiceType{Name: "S"})
+		offerIDs := make([]string, cfg.Servers)
+		for i := 0; i < cfg.Servers; i++ {
+			props := map[string]trading.PropValue{}
+			if mode == "dynamic" {
+				props["LoadAvg"] = trading.PropValue{Dynamic: refAt(i)}
+			} else {
+				props["LoadAvg"] = trading.PropValue{Static: wire.Number(trueLoad(i, 0, cfg.Threshold))}
+			}
+			id, err := tr.Export("S", refAt(i), props)
+			if err != nil {
+				return res, err
+			}
+			offerIDs[i] = id
+		}
+
+		constraint := fmt.Sprintf("LoadAvg < %g", cfg.Threshold)
+		ctx := context.Background()
+		nextRefresh := refresh
+		for now = 0; now < cfg.Duration; now += cfg.QueryEach {
+			// Snapshot mode: agents refresh static values every R.
+			if mode != "dynamic" && now >= nextRefresh {
+				for i := 0; i < cfg.Servers; i++ {
+					err := tr.Modify(offerIDs[i], map[string]trading.PropValue{
+						"LoadAvg": {Static: wire.Number(trueLoad(i, now, cfg.Threshold))},
+					})
+					if err != nil {
+						return res, err
+					}
+				}
+				nextRefresh += refresh
+			}
+			rs, err := tr.Query(ctx, "S", constraint, "min LoadAvg", 1)
+			if err != nil {
+				return res, err
+			}
+			res.Queries++
+			// Ground truth at this instant.
+			best, bestLoad := -1, math.Inf(1)
+			anyQualifies := false
+			for i := 0; i < cfg.Servers; i++ {
+				l := trueLoad(i, now, cfg.Threshold)
+				if l < cfg.Threshold {
+					anyQualifies = true
+				}
+				if l < bestLoad {
+					best, bestLoad = i, l
+				}
+			}
+			if len(rs) == 0 {
+				if anyQualifies {
+					res.EmptyResults++
+				}
+				continue
+			}
+			chosen := loadOf(rs[0].Offer.Ref)
+			if chosen >= cfg.Threshold {
+				res.Misselections++
+			}
+			if rs[0].Offer.Ref != refAt(best) && chosen > bestLoad*1.2 {
+				res.Suboptimal++
+			}
+		}
+		return res, nil
+	}
+
+	r, err := run("dynamic", 0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	for _, refresh := range cfg.RefreshEach {
+		r, err := run(fmt.Sprintf("snapshot-%s", refresh), refresh)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// StalenessTable renders A2.
+func StalenessTable(cfg StalenessConfig) (*Table, []StalenessResult, error) {
+	rs, err := Staleness(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTable(
+		"A2 (E5) — Dynamic properties vs periodically refreshed snapshots (paper §IV)",
+		"mode", "queries", "misselections", "suboptimal", "false empties")
+	for _, r := range rs {
+		t.AddRow(r.Mode, I(r.Queries), I(r.Misselections), I(r.Suboptimal), I(r.EmptyResults))
+	}
+	return t, rs, nil
+}

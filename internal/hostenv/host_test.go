@@ -1,0 +1,303 @@
+package hostenv
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"autoadapt/internal/clock"
+)
+
+var epoch = time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func newSimHost(name string) (*Host, *clock.Sim) {
+	sim := clock.NewSim(epoch)
+	h := New(Options{Name: name, Clock: sim})
+	return h, sim
+}
+
+func TestLoadAvgStartsAtZero(t *testing.T) {
+	h, _ := newSimHost("h")
+	defer h.Close()
+	one, five, fifteen, err := h.LoadAvg()
+	if err != nil || one != 0 || five != 0 || fifteen != 0 {
+		t.Fatalf("initial loadavg = %v %v %v, %v", one, five, fifteen, err)
+	}
+}
+
+func TestLoadAvgConvergesToRunnable(t *testing.T) {
+	h, _ := newSimHost("h")
+	defer h.Close()
+	h.SetBackground(4)
+	// After many samples, each average converges to the runnable count.
+	for i := 0; i < 3000; i++ {
+		h.Sample()
+	}
+	one, five, fifteen, _ := h.LoadAvg()
+	for _, v := range []float64{one, five, fifteen} {
+		if math.Abs(v-4) > 0.05 {
+			t.Fatalf("load averages did not converge: %v %v %v", one, five, fifteen)
+		}
+	}
+}
+
+func TestOneMinuteAverageLeadsFiveMinute(t *testing.T) {
+	// The paper's "Increasing" aspect relies on load1 > load5 while load
+	// rises; verify the kernel-style damping yields that signature.
+	h, _ := newSimHost("h")
+	defer h.Close()
+	h.SetBackground(5)
+	for i := 0; i < 12; i++ { // one minute of samples
+		h.Sample()
+	}
+	one, five, _, _ := h.LoadAvg()
+	if !(one > five) {
+		t.Fatalf("rising load should show load1 (%v) > load5 (%v)", one, five)
+	}
+	// Let both averages converge near 5, then remove the load; on the way
+	// down the fast average drops below the slow one.
+	for i := 0; i < 180; i++ {
+		h.Sample()
+	}
+	h.SetBackground(0)
+	for i := 0; i < 24; i++ { // two minutes of decay
+		h.Sample()
+	}
+	one, five, _, _ = h.LoadAvg()
+	if !(one < five) {
+		t.Fatalf("falling load should show load1 (%v) < load5 (%v)", one, five)
+	}
+}
+
+func TestKernelDampingFormula(t *testing.T) {
+	// One step from zero with n runnable must equal n·(1−e^(−5/60)).
+	h, _ := newSimHost("h")
+	defer h.Close()
+	h.SetBackground(3)
+	h.Sample()
+	one, _, _, _ := h.LoadAvg()
+	want := 3 * (1 - math.Exp(-5.0/60.0))
+	if math.Abs(one-want) > 1e-9 {
+		t.Fatalf("load1 after one sample = %v, want %v", one, want)
+	}
+}
+
+func TestPropertyDampingMonotoneAndBounded(t *testing.T) {
+	// Property: for constant runnable load n, every sample moves each
+	// average strictly toward n and never overshoots.
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(float64(r.Intn(20)))
+			args[1] = reflect.ValueOf(r.Intn(200) + 1)
+		},
+	}
+	prop := func(n float64, steps int) bool {
+		h, _ := newSimHost("p")
+		defer h.Close()
+		h.SetBackground(n)
+		prev := 0.0
+		for i := 0; i < steps; i++ {
+			h.Sample()
+			one, _, _, _ := h.LoadAvg()
+			if one > n+1e-9 { // never overshoots
+				return false
+			}
+			if n > 0 && one < prev-1e-9 { // monotone non-decreasing
+				return false
+			}
+			prev = one
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeDilatesWithBackgroundLoad(t *testing.T) {
+	h, sim := newSimHost("h")
+	defer h.Close()
+	ctx := context.Background()
+
+	run := func(bg float64) time.Duration {
+		h.SetBackground(bg)
+		done := make(chan time.Duration, 1)
+		go func() {
+			d, err := h.Serve(ctx, 100*time.Millisecond)
+			if err != nil {
+				t.Error(err)
+			}
+			done <- d
+		}()
+		// Drive simulated time until the task finishes.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			select {
+			case d := <-done:
+				return d
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("serve never completed")
+			}
+			sim.Advance(50 * time.Millisecond)
+		}
+	}
+
+	idle := run(0)
+	if idle != 100*time.Millisecond {
+		t.Fatalf("idle service time = %v, want 100ms", idle)
+	}
+	loaded := run(9) // runnable = 9 bg + 1 self = 10× dilation
+	if loaded != time.Second {
+		t.Fatalf("loaded service time = %v, want 1s", loaded)
+	}
+}
+
+func TestServeCountsConcurrentTasks(t *testing.T) {
+	h, sim := newSimHost("h")
+	defer h.Close()
+	ctx := context.Background()
+	const tasks = 4
+	var wg sync.WaitGroup
+	durations := make([]time.Duration, tasks)
+	started := make(chan struct{}, tasks)
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			d, err := h.Serve(ctx, 100*time.Millisecond)
+			if err != nil {
+				t.Error(err)
+			}
+			durations[i] = d
+		}(i)
+	}
+	for i := 0; i < tasks; i++ {
+		<-started
+	}
+	// Let all tasks register before advancing time.
+	waitUntil(t, func() bool { return h.Runnable() == tasks })
+	for i := 0; i < 100 && h.Runnable() > 0; i++ {
+		sim.Advance(100 * time.Millisecond)
+	}
+	wg.Wait()
+	// At least one task saw contention dilation > 1×.
+	var maxD time.Duration
+	for _, d := range durations {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD < 200*time.Millisecond {
+		t.Fatalf("max dilated duration = %v, want >= 200ms under contention", maxD)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServeContextCancel(t *testing.T) {
+	h, _ := newSimHost("h")
+	defer h.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := h.Serve(ctx, time.Hour)
+		errCh <- err
+	}()
+	waitUntil(t, func() bool { return h.Runnable() == 1 })
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("cancelled serve returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled serve hung")
+	}
+	if h.Served() != 0 {
+		t.Fatal("cancelled request counted as served")
+	}
+	waitUntil(t, func() bool { return h.Runnable() == 0 })
+}
+
+func TestServeOnClosedHost(t *testing.T) {
+	h, _ := newSimHost("h")
+	h.Close()
+	h.Close() // idempotent
+	if _, err := h.Serve(context.Background(), time.Millisecond); err != ErrHostClosed {
+		t.Fatalf("err = %v, want ErrHostClosed", err)
+	}
+}
+
+func TestAutoSampleLoop(t *testing.T) {
+	sim := clock.NewSim(epoch)
+	h := New(Options{Name: "auto", Clock: sim, AutoSample: true})
+	defer h.Close()
+	h.SetBackground(2)
+	// Wait for the sampler to arm, then advance a minute.
+	waitUntil(t, func() bool { return sim.PendingTimers() > 0 })
+	for i := 0; i < 12; i++ {
+		sim.Advance(SamplePeriod)
+		waitUntil(t, func() bool { return sim.PendingTimers() > 0 })
+	}
+	one, _, _, _ := h.LoadAvg()
+	if one <= 0.5 {
+		t.Fatalf("auto-sampled load1 = %v, want > 0.5 after a minute at load 2", one)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	h, sim := newSimHost("h")
+	defer h.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := h.Serve(context.Background(), 10*time.Millisecond); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitUntil(t, func() bool { return h.Runnable() == 1 })
+	sim.Advance(20 * time.Millisecond)
+	<-done
+	if h.Served() != 1 || h.BusyTime() == 0 {
+		t.Fatalf("served=%d busy=%v", h.Served(), h.BusyTime())
+	}
+	h.ResetStats()
+	if h.Served() != 0 || h.BusyTime() != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func TestNegativeBackgroundClamped(t *testing.T) {
+	h, _ := newSimHost("h")
+	defer h.Close()
+	h.SetBackground(-5)
+	if h.Background() != 0 {
+		t.Fatalf("Background = %v, want 0", h.Background())
+	}
+}
+
+func TestDefaultCapacityAndName(t *testing.T) {
+	h := New(Options{Name: "named", Clock: clock.NewSim(epoch)})
+	defer h.Close()
+	if h.Name() != "named" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+}

@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+
+	"autoadapt/internal/wire"
+)
+
+// Hostile-code tests: shipped predicates and aspects come from remote,
+// semi-trusted peers. The monitor must survive code that loops forever,
+// recurses, errors, or tries to starve other observers.
+
+func TestHostilePredicateInfiniteLoopIsBounded(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := New(Options{
+		Name:           "p",
+		Logger:         log.New(&buf, "", 0),
+		MaxScriptSteps: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.AttachObserver(obsRef("evil"), "Spin",
+		"function() while true do end end"); err != nil {
+		t.Fatal(err)
+	}
+	// A second, honest observer must still be evaluated.
+	rec := &recordingNotifier{}
+	m.opts.Notifier = rec
+	if _, err := m.AttachObserver(obsRef("honest"), "Always",
+		"function() return true end"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetValue(wire.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatalf("tick failed under hostile predicate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "step budget") {
+		t.Fatalf("budget exhaustion not logged: %q", buf.String())
+	}
+	if rec.count() != 1 {
+		t.Fatalf("honest observer starved: %d notifications", rec.count())
+	}
+}
+
+func TestHostileAspectInfiniteLoopIsBounded(t *testing.T) {
+	m, err := New(Options{Name: "p", MaxScriptSteps: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.DefineAspect("spin", "function() while true do end end"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DefineAspect("good", "function(self, v) return 1 end"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	v, err := m.AspectValue("good")
+	if err != nil || v.Num() != 1 {
+		t.Fatalf("good aspect starved: %v, %v", v, err)
+	}
+}
+
+func TestHostileUpdateScriptLoopSurfacesError(t *testing.T) {
+	m, err := New(Options{
+		Name:           "p",
+		UpdateScript:   "function() while true do end end",
+		MaxScriptSteps: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Tick(); err == nil {
+		t.Fatal("runaway update script did not error")
+	}
+	// The monitor remains usable for pushes afterwards.
+	if err := m.SetValue(wire.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepRecursionInShippedCode(t *testing.T) {
+	m, err := New(Options{Name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.AttachObserver(obsRef("rec"), "R", `function()
+		local function f() return f() end
+		return f()
+	end`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatalf("tick failed under recursive predicate: %v", err)
+	}
+}
+
+func TestPredicateCannotCrossWireWithFunctions(t *testing.T) {
+	// A predicate that returns a function is simply truthy (functions are
+	// values); what must NOT happen is a function leaking across getValue.
+	m, err := New(Options{Name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.DefineAspect("fn", "function() return function() end end"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AspectValue("fn"); err == nil {
+		t.Fatal("function-valued aspect crossed ToWire")
+	}
+}

@@ -1,0 +1,483 @@
+// Package monitor implements the paper's extensible monitoring mechanism
+// (LuaMonitor, §III): monitor objects that observe a single property,
+// run-time defined *aspects* computed by shipped script code (Fig. 1), and
+// event monitors that evaluate shipped event-diagnosing predicates at the
+// monitor and notify observers through oneway callbacks (Fig. 2).
+//
+// A monitor owns one AdaptScript interpreter; all script evaluation —
+// update functions, aspect evaluators, event predicates — happens under the
+// monitor's lock, so shipped code sees a consistent snapshot and the
+// interpreter's single-goroutine constraint is respected.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"autoadapt/internal/clock"
+	"autoadapt/internal/orb"
+	"autoadapt/internal/script"
+	"autoadapt/internal/scriptbind"
+	"autoadapt/internal/wire"
+)
+
+// IDL is the monitor interface family exactly as the paper defines it
+// (Figs. 1 and 2), in the repository's IDL subset.
+const IDL = `
+typedef any PropertyValue;
+typedef string AspectName;
+typedef sequence<string> AspectList;
+typedef string LuaCode;
+typedef string EventID;
+typedef double EventObserverID;
+
+interface AspectsManager {
+    PropertyValue getAspectValue(in AspectName name);
+    AspectList definedAspects();
+    void defineAspect(in AspectName name, in LuaCode updatef);
+};
+
+interface BasicMonitor : AspectsManager {
+    any getValue();
+    void setValue(in any v);
+};
+
+interface EventObserver {
+    oneway void notifyEvent(in EventID evid);
+};
+
+interface EventMonitor : BasicMonitor {
+    EventObserverID attachEventObserver(in EventObserver obj, in EventID evid, in LuaCode notifyf);
+    void detachEventObserver(in EventObserverID id);
+};
+`
+
+// Errors returned by monitors.
+var (
+	// ErrNoSuchAspect is returned by AspectValue for undefined aspects.
+	ErrNoSuchAspect = errors.New("monitor: no such aspect")
+	// ErrClosed is returned by operations on a closed monitor.
+	ErrClosed = errors.New("monitor: closed")
+)
+
+// UpdateFunc produces the property's current value (e.g. by reading
+// /proc/loadavg or a simulated host).
+type UpdateFunc func() (wire.Value, error)
+
+// Notifier delivers event notifications to observers. The production
+// implementation wraps an orb.Client oneway call; tests may record.
+type Notifier interface {
+	Notify(observer wire.ObjRef, eventID string)
+}
+
+// NotifierFunc adapts a function to Notifier.
+type NotifierFunc func(observer wire.ObjRef, eventID string)
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(observer wire.ObjRef, eventID string) { f(observer, eventID) }
+
+// Options configures a monitor.
+type Options struct {
+	// Name identifies the monitored property ("LoadAvg").
+	Name string
+	// Update computes the property value on each tick. Exactly one of
+	// Update and UpdateScript must be set for a timer-driven monitor;
+	// both may be empty for a push-style monitor fed through SetValue.
+	Update UpdateFunc
+	// UpdateScript is AdaptScript source evaluating to a zero-argument
+	// function — the paper's Fig. 3 pattern, where the update function is
+	// itself shipped code.
+	UpdateScript string
+	// Period is the update interval (the paper's Fig. 3 uses 60s). Zero
+	// disables the internal timer; Tick may still be called manually.
+	Period time.Duration
+	// Clock drives the timer; defaults to the real clock.
+	Clock clock.Clock
+	// Notifier delivers event notifications. Nil drops them.
+	Notifier Notifier
+	// Logger receives script errors from shipped code. Nil discards.
+	Logger *log.Logger
+	// MaxScriptSteps bounds each shipped-code evaluation (see script
+	// package). Zero applies script.DefaultMaxSteps.
+	MaxScriptSteps int
+	// SelfRef is the monitor's own object reference, passed to predicates
+	// that want to hand it onward. May be zero.
+	SelfRef wire.ObjRef
+	// Client, when set, gives shipped code (update functions, aspects,
+	// event predicates) the LuaCorba client API (`orb.invoke`, `orb.proxy`)
+	// so it can consult OTHER monitors — the paper's §III composite
+	// properties and events: "both the code for evaluating a property and
+	// the code for diagnosing an event can contain references to other
+	// monitors, thus allowing the construction of arbitrarily complex
+	// composite properties and events."
+	//
+	// Shipped code must reach its OWN monitor through the `monitor`
+	// argument, never through orb.invoke on its own reference: scripts run
+	// under the monitor's lock, so a self-directed remote call would
+	// deadlock.
+	Client *orb.Client
+}
+
+type aspect struct {
+	name  string
+	fn    script.Value // function(self, currval, monitor)
+	self  script.Value // persistent state table
+	value script.Value // last computed value
+}
+
+type observer struct {
+	id      int
+	ref     wire.ObjRef
+	eventID string
+	fn      script.Value // function(observer, value, monitor)
+}
+
+// Monitor observes one property. It implements the paper's BasicMonitor,
+// AspectsManager and EventMonitor interfaces; expose it over the ORB with
+// NewServant.
+type Monitor struct {
+	opts Options
+
+	mu        sync.Mutex
+	in        *script.Interp
+	value     script.Value
+	updateFn  script.Value // compiled UpdateScript, if any
+	aspects   map[string]*aspect
+	observers map[int]*observer
+	nextObsID int
+	selfTable script.Value // table exposing monitor methods to shipped code
+	closed    bool
+	ticks     int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New constructs a monitor. If Period > 0, the internal timer starts
+// immediately (the paper's "internal timing mechanism").
+func New(opts Options) (*Monitor, error) {
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	m := &Monitor{
+		opts:      opts,
+		in:        script.New(script.Options{MaxSteps: opts.MaxScriptSteps, Clock: opts.Clock}),
+		aspects:   make(map[string]*aspect),
+		observers: make(map[int]*observer),
+	}
+	if opts.Client != nil {
+		scriptbind.InstallORB(m.in, opts.Client)
+	}
+	if opts.UpdateScript != "" {
+		if opts.Update != nil {
+			return nil, errors.New("monitor: set Update or UpdateScript, not both")
+		}
+		fn, err := m.compileFunction("update:"+opts.Name, opts.UpdateScript)
+		if err != nil {
+			return nil, err
+		}
+		m.updateFn = fn
+	}
+	m.selfTable = m.buildSelfTable()
+	if opts.Period > 0 {
+		m.stop = make(chan struct{})
+		m.done = make(chan struct{})
+		go m.run()
+	}
+	return m, nil
+}
+
+// Name returns the monitored property's name.
+func (m *Monitor) Name() string { return m.opts.Name }
+
+// Interp exposes the monitor's interpreter so hosts can inject primitives
+// (e.g. the simulated /proc/loadavg reader) before shipped code runs.
+// Callers must not retain it across goroutines.
+func (m *Monitor) Interp() *script.Interp {
+	return m.in
+}
+
+// compileFunction evaluates src, which must yield a function value, e.g.
+// "function(a, b) ... end" or "return function(a, b) ... end".
+func (m *Monitor) compileFunction(chunk, src string) (script.Value, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compileFunctionLocked(chunk, src)
+}
+
+func (m *Monitor) compileFunctionLocked(chunk, src string) (script.Value, error) {
+	vs, err := m.in.Eval(chunk, "return "+src)
+	if err != nil {
+		// Allow the "function f() end"-style source that already returns.
+		vs, err = m.in.Eval(chunk, src)
+		if err != nil {
+			return script.Nil(), fmt.Errorf("monitor: compile %s: %w", chunk, err)
+		}
+	}
+	if len(vs) == 0 || !vs[0].IsFunction() {
+		return script.Nil(), fmt.Errorf("monitor: %s did not evaluate to a function", chunk)
+	}
+	return vs[0], nil
+}
+
+// buildSelfTable creates the script-visible monitor object handed to
+// aspect evaluators and event predicates: a table with getValue and
+// getAspectValue methods, mirroring the paper's "reference to the monitor
+// implementation, through which we can obtain the values of any aspect".
+func (m *Monitor) buildSelfTable() script.Value {
+	t := script.NewTable()
+	t.SetString("name", script.String(m.opts.Name))
+	if !m.opts.SelfRef.IsZero() {
+		t.SetString("ref", script.Ref(m.opts.SelfRef))
+	}
+	// Methods are invoked as monitor:getValue() — arg 0 is the table.
+	t.SetString("getValue", script.Func("monitor.getValue", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+		// Called with m.mu held (scripts only run under the lock).
+		return []script.Value{m.value}, nil
+	}))
+	t.SetString("getAspectValue", script.Func("monitor.getAspectValue", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
+		if len(args) < 2 {
+			return nil, errors.New("getAspectValue: aspect name required")
+		}
+		a, ok := m.aspects[args[1].Str()]
+		if !ok {
+			return []script.Value{script.Nil()}, nil
+		}
+		return []script.Value{a.value}, nil
+	}))
+	return script.TableVal(t)
+}
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.opts.Logger != nil {
+		m.opts.Logger.Printf(format, args...)
+	}
+}
+
+// run is the internal timing mechanism: it triggers updates of the
+// property value and activates event detection (paper §III).
+func (m *Monitor) run() {
+	defer close(m.done)
+	for {
+		ch, stopTimer := m.opts.Clock.After(m.opts.Period)
+		select {
+		case <-m.stop:
+			stopTimer()
+			return
+		case <-ch:
+			if err := m.Tick(); err != nil && !errors.Is(err, ErrClosed) {
+				m.logf("monitor %s: tick: %v", m.opts.Name, err)
+			}
+		}
+	}
+}
+
+// Close stops the timer and rejects further operations.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	if m.stop != nil {
+		close(m.stop)
+		<-m.done
+	}
+}
+
+// Tick performs one update cycle: refresh the property value, recompute
+// every aspect, then evaluate every observer's predicate and send
+// notifications for those that fire. Notifications are delivered outside
+// the monitor lock.
+func (m *Monitor) Tick() error {
+	var toNotify []*observer
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.ticks++
+	// 1. Update the property value.
+	switch {
+	case m.opts.Update != nil:
+		v, err := m.opts.Update()
+		if err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("monitor %s: update: %w", m.opts.Name, err)
+		}
+		m.value = script.FromWire(v)
+	case m.updateFn.IsFunction():
+		vs, err := m.in.Call(m.updateFn, nil)
+		if err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("monitor %s: update script: %w", m.opts.Name, err)
+		}
+		if len(vs) > 0 {
+			m.value = vs[0]
+		}
+	}
+	// 2. Recompute aspects (sorted for determinism).
+	names := make([]string, 0, len(m.aspects))
+	for n := range m.aspects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := m.aspects[n]
+		vs, err := m.in.Call(a.fn, []script.Value{a.self, m.value, m.selfTable})
+		if err != nil {
+			m.logf("monitor %s: aspect %s: %v", m.opts.Name, n, err)
+			continue
+		}
+		if len(vs) > 0 {
+			a.value = vs[0]
+		} else {
+			a.value = script.Nil()
+		}
+	}
+	// 3. Event detection.
+	ids := make([]int, 0, len(m.observers))
+	for id := range m.observers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		o := m.observers[id]
+		obsArg := script.Ref(o.ref)
+		vs, err := m.in.Call(o.fn, []script.Value{obsArg, m.value, m.selfTable})
+		if err != nil {
+			m.logf("monitor %s: predicate for %s: %v", m.opts.Name, o.eventID, err)
+			continue
+		}
+		if len(vs) > 0 && vs[0].Truthy() {
+			toNotify = append(toNotify, o)
+		}
+	}
+	m.mu.Unlock()
+
+	// 4. Notify outside the lock (oneway semantics: fire and forget).
+	if m.opts.Notifier != nil {
+		for _, o := range toNotify {
+			m.opts.Notifier.Notify(o.ref, o.eventID)
+		}
+	}
+	return nil
+}
+
+// Ticks reports how many update cycles have run.
+func (m *Monitor) Ticks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ticks
+}
+
+// Value returns the current property value (getValue).
+func (m *Monitor) Value() (wire.Value, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return wire.Nil(), ErrClosed
+	}
+	return m.value.ToWire()
+}
+
+// SetValue overrides the property value (setValue) — the push-style feed.
+func (m *Monitor) SetValue(v wire.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.value = script.FromWire(v)
+	return nil
+}
+
+// DefineAspect installs (or replaces) an aspect whose evaluator is shipped
+// script source: function(self, currval, monitor) ... end. The evaluator
+// runs on every tick; its return value becomes the aspect's value.
+func (m *Monitor) DefineAspect(name, evaluatorSrc string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	fn, err := m.compileFunctionLocked("aspect:"+name, evaluatorSrc)
+	if err != nil {
+		return err
+	}
+	m.aspects[name] = &aspect{
+		name: name,
+		fn:   fn,
+		self: script.TableVal(script.NewTable()),
+	}
+	return nil
+}
+
+// AspectValue returns the last computed value of an aspect
+// (getAspectValue).
+func (m *Monitor) AspectValue(name string) (wire.Value, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return wire.Nil(), ErrClosed
+	}
+	a, ok := m.aspects[name]
+	if !ok {
+		return wire.Nil(), fmt.Errorf("%w: %q", ErrNoSuchAspect, name)
+	}
+	return a.value.ToWire()
+}
+
+// DefinedAspects lists aspect names, sorted (definedAspects).
+func (m *Monitor) DefinedAspects() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.aspects))
+	for n := range m.aspects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttachObserver registers an event observer (attachEventObserver): ref
+// will be sent notifyEvent(eventID) whenever predicateSrc — shipped code,
+// evaluated here at the monitor — returns true on a tick. It returns the
+// observer id for detachEventObserver.
+func (m *Monitor) AttachObserver(ref wire.ObjRef, eventID, predicateSrc string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	fn, err := m.compileFunctionLocked("predicate:"+eventID, predicateSrc)
+	if err != nil {
+		return 0, err
+	}
+	m.nextObsID++
+	id := m.nextObsID
+	m.observers[id] = &observer{id: id, ref: ref, eventID: eventID, fn: fn}
+	return id, nil
+}
+
+// DetachObserver removes an observer (detachEventObserver). Unknown ids
+// are ignored, matching the idempotent CORBA semantics.
+func (m *Monitor) DetachObserver(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.observers, id)
+}
+
+// ObserverCount reports registered observers (diagnostics).
+func (m *Monitor) ObserverCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.observers)
+}

@@ -1,0 +1,94 @@
+package orb
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"autoadapt/internal/wire"
+)
+
+// ORB throughput benchmarks supplementing experiment E4.
+
+func BenchmarkOnewayInproc(b *testing.B) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "bench-ow"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("sink", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return nil, nil
+	}))
+	client := NewClient(n)
+	defer client.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := client.InvokeOneway(ref, "notifyEvent", wire.String("E")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConcurrentInvokeInproc(b *testing.B) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "bench-conc"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return args, nil
+	}))
+	client := NewClient(n)
+	defer client.Close()
+	ctx := context.Background()
+	const workers = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / workers
+	if per == 0 {
+		per = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := client.Invoke(ctx, ref, "echo", wire.Int(i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkTablePayloadInvoke(b *testing.B) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "bench-table"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return args, nil
+	}))
+	client := NewClient(n)
+	defer client.Close()
+	tb := wire.NewTable()
+	for i := 0; i < 20; i++ {
+		tb.SetString(string(rune('a'+i)), wire.Number(float64(i)))
+	}
+	arg := wire.TableVal(tb)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Invoke(ctx, ref, "echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

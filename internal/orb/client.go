@@ -1,0 +1,355 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"autoadapt/internal/wire"
+)
+
+// Client-side errors.
+var (
+	// ErrClosed is returned by operations on a closed client.
+	ErrClosed = errors.New("orb: client closed")
+	// ErrUnknownNetwork is returned when a reference names a transport the
+	// client was not configured with.
+	ErrUnknownNetwork = errors.New("orb: unknown network in object reference")
+)
+
+// RemoteError is an error reply from a remote servant.
+type RemoteError struct {
+	Code string // one of the Code* constants
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote error [%s]: %s", e.Code, e.Msg) }
+
+// IsRemoteCode reports whether err is a RemoteError carrying code.
+func IsRemoteCode(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// Client performs dynamic invocations on remote objects. It multiplexes
+// concurrent requests over one connection per endpoint and is safe for
+// concurrent use.
+type Client struct {
+	networks map[string]Network
+
+	mu     sync.Mutex
+	conns  map[string]*clientConn
+	closed bool
+
+	// LocalServers, when registered, enable a fast path: invocations on
+	// references served by this process bypass the transport entirely.
+	localMu sync.RWMutex
+	local   map[string]*Server
+}
+
+// NewClient returns a client able to dial the given networks.
+func NewClient(nets ...Network) *Client {
+	m := make(map[string]Network, len(nets))
+	for _, n := range nets {
+		m[n.Name()] = n
+	}
+	return &Client{
+		networks: m,
+		conns:    make(map[string]*clientConn),
+		local:    make(map[string]*Server),
+	}
+}
+
+// RegisterLocal enables the in-process fast path for a co-located server:
+// invocations on its references skip the transport. This mirrors CORBA
+// collocation optimization and keeps micro-benchmarks honest about where
+// time goes (see bench E4).
+func (c *Client) RegisterLocal(s *Server) {
+	c.localMu.Lock()
+	defer c.localMu.Unlock()
+	c.local[s.Endpoint()] = s
+}
+
+// Invoke calls op on the object named by ref and waits for its reply.
+func (c *Client) Invoke(ctx context.Context, ref wire.ObjRef, op string, args ...wire.Value) ([]wire.Value, error) {
+	if ref.IsZero() {
+		return nil, errors.New("orb: invoke on nil object reference")
+	}
+	// Collocated fast path.
+	c.localMu.RLock()
+	local, ok := c.local[ref.Endpoint]
+	c.localMu.RUnlock()
+	if ok {
+		rep := local.dispatch(&wire.Request{ObjectKey: ref.Key, Operation: op, Args: args})
+		if rep.Err != "" {
+			return nil, &RemoteError{Code: rep.ErrCode, Msg: rep.Err}
+		}
+		return rep.Results, nil
+	}
+	cc, err := c.conn(ref.Endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return cc.roundTrip(ctx, ref.Key, op, args)
+}
+
+// InvokeOneway sends a request without waiting for any reply.
+func (c *Client) InvokeOneway(ref wire.ObjRef, op string, args ...wire.Value) error {
+	if ref.IsZero() {
+		return errors.New("orb: oneway invoke on nil object reference")
+	}
+	c.localMu.RLock()
+	local, ok := c.local[ref.Endpoint]
+	c.localMu.RUnlock()
+	if ok {
+		// Preserve oneway semantics: fire and forget, asynchronously.
+		go local.dispatch(&wire.Request{ObjectKey: ref.Key, Operation: op, Args: args})
+		return nil
+	}
+	cc, err := c.conn(ref.Endpoint)
+	if err != nil {
+		return err
+	}
+	return cc.sendOneway(ref.Key, op, args)
+}
+
+// Close tears down every connection. In-flight invocations fail with
+// ErrClosed or a transport error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*clientConn, 0, len(c.conns))
+	for _, cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.conns = map[string]*clientConn{}
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.close(ErrClosed)
+	}
+	return nil
+}
+
+func (c *Client) conn(endpoint string) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if cc, ok := c.conns[endpoint]; ok && !cc.isDead() {
+		return cc, nil
+	}
+	network, addr, err := SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := c.networks[network]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNetwork, network)
+	}
+	raw, err := n.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := newClientConn(raw)
+	c.conns[endpoint] = cc
+	return cc, nil
+}
+
+// clientConn multiplexes requests over one transport connection.
+type clientConn struct {
+	raw net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Reply
+	dead    bool
+	deadErr error
+
+	readerDone chan struct{}
+}
+
+func newClientConn(raw net.Conn) *clientConn {
+	cc := &clientConn{
+		raw:        raw,
+		nextID:     1,
+		pending:    make(map[uint64]chan *wire.Reply),
+		readerDone: make(chan struct{}),
+	}
+	go cc.readLoop()
+	return cc
+}
+
+func (cc *clientConn) isDead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.dead
+}
+
+func (cc *clientConn) close(err error) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	cc.deadErr = err
+	waiters := cc.pending
+	cc.pending = map[uint64]chan *wire.Reply{}
+	cc.mu.Unlock()
+	_ = cc.raw.Close()
+	for _, ch := range waiters {
+		close(ch) // receivers translate a closed channel into deadErr
+	}
+}
+
+func (cc *clientConn) readLoop() {
+	defer close(cc.readerDone)
+	for {
+		payload, err := wire.ReadFrame(cc.raw)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			cc.close(fmt.Errorf("orb: connection lost: %w", err))
+			return
+		}
+		msg, err := wire.DecodeMessage(payload)
+		if err != nil {
+			cc.close(fmt.Errorf("orb: protocol error: %w", err))
+			return
+		}
+		if msg.Rep == nil {
+			cc.close(errors.New("orb: unexpected non-reply message from server"))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[msg.Rep.ID]
+		delete(cc.pending, msg.Rep.ID)
+		cc.mu.Unlock()
+		if ok {
+			ch <- msg.Rep
+		}
+	}
+}
+
+func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire.Value) ([]wire.Value, error) {
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.deadErr
+		cc.mu.Unlock()
+		return nil, err
+	}
+	id := cc.nextID
+	cc.nextID++
+	ch := make(chan *wire.Reply, 1)
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	payload, err := wire.EncodeRequest(&wire.Request{ID: id, ObjectKey: key, Operation: op, Args: args}, false)
+	if err != nil {
+		cc.forget(id)
+		return nil, err
+	}
+	cc.writeMu.Lock()
+	err = wire.WriteFrame(cc.raw, payload)
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.forget(id)
+		cc.close(fmt.Errorf("orb: write failed: %w", err))
+		return nil, err
+	}
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.deadErr
+			cc.mu.Unlock()
+			return nil, err
+		}
+		if rep.Err != "" {
+			return nil, &RemoteError{Code: rep.ErrCode, Msg: rep.Err}
+		}
+		return rep.Results, nil
+	case <-done:
+		cc.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (cc *clientConn) forget(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) sendOneway(key, op string, args []wire.Value) error {
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.deadErr
+		cc.mu.Unlock()
+		return err
+	}
+	cc.mu.Unlock()
+	payload, err := wire.EncodeRequest(&wire.Request{ObjectKey: key, Operation: op, Args: args}, true)
+	if err != nil {
+		return err
+	}
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	if err := wire.WriteFrame(cc.raw, payload); err != nil {
+		cc.close(fmt.Errorf("orb: write failed: %w", err))
+		return err
+	}
+	return nil
+}
+
+// Proxy is a convenience handle binding a client to one object reference —
+// the raw (non-smart) proxy the paper's LuaCorba generates per object.
+type Proxy struct {
+	c   *Client
+	ref wire.ObjRef
+}
+
+// NewProxy builds a proxy for ref.
+func (c *Client) NewProxy(ref wire.ObjRef) *Proxy { return &Proxy{c: c, ref: ref} }
+
+// Ref returns the proxied object reference.
+func (p *Proxy) Ref() wire.ObjRef { return p.ref }
+
+// Call invokes op with args and returns all results.
+func (p *Proxy) Call(ctx context.Context, op string, args ...wire.Value) ([]wire.Value, error) {
+	return p.c.Invoke(ctx, p.ref, op, args...)
+}
+
+// Call1 invokes op and returns the first result (or nil).
+func (p *Proxy) Call1(ctx context.Context, op string, args ...wire.Value) (wire.Value, error) {
+	rs, err := p.c.Invoke(ctx, p.ref, op, args...)
+	if err != nil {
+		return wire.Nil(), err
+	}
+	if len(rs) == 0 {
+		return wire.Nil(), nil
+	}
+	return rs[0], nil
+}
+
+// Oneway sends a oneway invocation.
+func (p *Proxy) Oneway(op string, args ...wire.Value) error {
+	return p.c.InvokeOneway(p.ref, op, args...)
+}

@@ -1,0 +1,182 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"autoadapt/internal/wire"
+)
+
+func TestInterceptorObservesAndPassesThrough(t *testing.T) {
+	n := NewInprocNetwork()
+	_, client, ref := newPair(t, n, "ic-pass")
+	ic := NewInterceptingClient(client)
+	var sent, received []string
+	ic.Use(RequestInterceptorFuncs{
+		OnSend: func(_ context.Context, info *RequestInfo) (wire.ObjRef, error) {
+			sent = append(sent, info.Operation)
+			return info.Target, nil
+		},
+		OnReceive: func(_ context.Context, info *RequestInfo, results []wire.Value, err error) {
+			received = append(received, info.Operation)
+		},
+	})
+	rs, err := ic.Invoke(context.Background(), ref, "add", wire.Int(1), wire.Int(2))
+	if err != nil || rs[0].Num() != 3 {
+		t.Fatalf("invoke through interceptor = %v, %v", rs, err)
+	}
+	if len(sent) != 1 || len(received) != 1 || sent[0] != "add" {
+		t.Fatalf("interceptor hooks: sent=%v received=%v", sent, received)
+	}
+	if ic.Inner() != client {
+		t.Fatal("Inner() mismatch")
+	}
+}
+
+func TestInterceptorRedirects(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "ic-redir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	refA := srv.Register("a", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return []wire.Value{wire.String("A")}, nil
+	}))
+	refB := srv.Register("b", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return []wire.Value{wire.String("B")}, nil
+	}))
+	client := NewClient(n)
+	defer client.Close()
+	ic := NewInterceptingClient(client)
+	ic.Use(RequestInterceptorFuncs{
+		OnSend: func(_ context.Context, info *RequestInfo) (wire.ObjRef, error) {
+			if info.Target == refA {
+				return refB, nil // adaptation: reroute A-traffic to B
+			}
+			return info.Target, nil
+		},
+	})
+	rs, err := ic.Invoke(context.Background(), refA, "who")
+	if err != nil || rs[0].Str() != "B" {
+		t.Fatalf("redirected call answered %v, %v (want B)", rs, err)
+	}
+}
+
+func TestInterceptorAborts(t *testing.T) {
+	n := NewInprocNetwork()
+	_, client, ref := newPair(t, n, "ic-abort")
+	ic := NewInterceptingClient(client)
+	boom := errors.New("policy forbids this call")
+	ic.Use(RequestInterceptorFuncs{
+		OnSend: func(_ context.Context, info *RequestInfo) (wire.ObjRef, error) {
+			return wire.ObjRef{}, boom
+		},
+	})
+	if _, err := ic.Invoke(context.Background(), ref, "echo"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want abort error", err)
+	}
+}
+
+func TestInterceptorChainOrderAndReplyReversal(t *testing.T) {
+	n := NewInprocNetwork()
+	_, client, ref := newPair(t, n, "ic-order")
+	ic := NewInterceptingClient(client)
+	var order []string
+	mk := func(name string) RequestInterceptor {
+		return RequestInterceptorFuncs{
+			OnSend: func(_ context.Context, info *RequestInfo) (wire.ObjRef, error) {
+				order = append(order, "send-"+name)
+				return info.Target, nil
+			},
+			OnReceive: func(_ context.Context, _ *RequestInfo, _ []wire.Value, _ error) {
+				order = append(order, "recv-"+name)
+			},
+		}
+	}
+	ic.Use(mk("1"))
+	ic.Use(mk("2"))
+	if _, err := ic.Invoke(context.Background(), ref, "echo", wire.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"send-1", "send-2", "recv-2", "recv-1"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInterceptorSeesErrors(t *testing.T) {
+	n := NewInprocNetwork()
+	_, client, ref := newPair(t, n, "ic-err")
+	ic := NewInterceptingClient(client)
+	var sawErr error
+	ic.Use(RequestInterceptorFuncs{
+		OnReceive: func(_ context.Context, _ *RequestInfo, _ []wire.Value, err error) {
+			sawErr = err
+		},
+	})
+	_, err := ic.Invoke(context.Background(), ref, "fail")
+	if err == nil || sawErr == nil {
+		t.Fatalf("interceptor did not observe the error: call=%v saw=%v", err, sawErr)
+	}
+}
+
+func TestInterceptorOneway(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "ic-ow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got := make(chan string, 1)
+	refA := srv.Register("a", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		got <- "A"
+		return nil, nil
+	}))
+	refB := srv.Register("b", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		got <- "B"
+		return nil, nil
+	}))
+	client := NewClient(n)
+	defer client.Close()
+	ic := NewInterceptingClient(client)
+	ic.Use(RequestInterceptorFuncs{
+		OnSend: func(_ context.Context, info *RequestInfo) (wire.ObjRef, error) {
+			if !info.Oneway {
+				t.Error("oneway flag not set")
+			}
+			_ = refA
+			return refB, nil
+		},
+	})
+	if err := ic.InvokeOneway(refA, "notify"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case who := <-got:
+		if who != "B" {
+			t.Fatalf("oneway landed on %s, want B", who)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oneway never delivered")
+	}
+}
+
+func TestInterceptingClientClose(t *testing.T) {
+	n := NewInprocNetwork()
+	client := NewClient(n)
+	ic := NewInterceptingClient(client)
+	if err := ic.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Invoke(context.Background(), wire.ObjRef{Endpoint: "inproc|x", Key: "k"}, "op"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("inner client not closed: %v", err)
+	}
+}

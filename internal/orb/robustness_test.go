@@ -1,0 +1,174 @@
+package orb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"autoadapt/internal/wire"
+)
+
+func TestLargePayloadRoundTrip(t *testing.T) {
+	n := NewInprocNetwork()
+	_, client, ref := newPair(t, n, "big")
+	big := make([]byte, 4<<20) // 4 MiB, inside the 16 MiB frame limit
+	for i := range big {
+		big[i] = byte(i)
+	}
+	rs, err := client.Invoke(context.Background(), ref, "echo", wire.Bytes(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rs[0].AsBytes()
+	if !ok || !bytes.Equal(got, big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestOversizedArgumentRejectedClientSide(t *testing.T) {
+	n := NewInprocNetwork()
+	_, client, ref := newPair(t, n, "toobig")
+	huge := make([]byte, wire.MaxFrameSize+1)
+	_, err := client.Invoke(context.Background(), ref, "echo", wire.Bytes(huge))
+	if !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// The connection remains usable (the frame never went out).
+	if _, err := client.Invoke(context.Background(), ref, "echo", wire.Int(1)); err != nil {
+		t.Fatalf("connection unusable after oversized reject: %v", err)
+	}
+}
+
+// TestServerSurvivesGarbageBytes feeds raw garbage to the server's port;
+// the server must drop the connection without disturbing other clients.
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	srv, err := NewServer(ServerOptions{Network: TCPNetwork{}, Address: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+
+	_, addr, err := SplitEndpoint(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame header claiming a modest size followed by undecodable bytes.
+	if _, err := raw.Write([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	// Server should close on us.
+	_ = raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := raw.Read(buf); err == nil {
+		t.Log("server replied to garbage (tolerated) — must still drop below")
+	}
+	_ = raw.Close()
+
+	// A real client still works.
+	client := NewClient(TCPNetwork{})
+	defer client.Close()
+	rs, err := client.Invoke(context.Background(), ref, "add", wire.Int(2), wire.Int(2))
+	if err != nil || rs[0].Num() != 4 {
+		t.Fatalf("healthy client disturbed: %v, %v", rs, err)
+	}
+}
+
+// TestManyConcurrentClients hammers one server from several clients at
+// once to exercise connection bookkeeping.
+func TestManyConcurrentClients(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "many"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+
+	const clients = 8
+	const callsEach = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := NewClient(n)
+			defer client.Close()
+			for i := 0; i < callsEach; i++ {
+				rs, err := client.Invoke(context.Background(), ref, "add", wire.Int(c), wire.Int(i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rs[0].Num() != float64(c+i) {
+					errs <- errors.New("wrong result under concurrency")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestOnewayStormDoesNotBlockTwoWay interleaves a burst of oneways with a
+// two-way call on the same connection.
+func TestOnewayStormDoesNotBlockTwoWay(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "storm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+	client := NewClient(n)
+	defer client.Close()
+	for i := 0; i < 200; i++ {
+		if err := client.InvokeOneway(ref, "echo", wire.Int(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Invoke(context.Background(), ref, "add", wire.Int(1), wire.Int(1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("two-way call starved by oneway storm")
+	}
+}
+
+func TestRegisterReplacesServant(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, client, ref := newPair(t, n, "replace")
+	srv.Register("echo", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return []wire.Value{wire.String("v2")}, nil
+	}))
+	rs, err := client.Invoke(context.Background(), ref, "anything")
+	if err != nil || rs[0].Str() != "v2" {
+		t.Fatalf("replacement servant not active: %v, %v", rs, err)
+	}
+	if _, ok := srv.Lookup("echo"); !ok {
+		t.Fatal("Lookup failed for registered key")
+	}
+	if _, ok := srv.Lookup("ghost"); ok {
+		t.Fatal("Lookup succeeded for missing key")
+	}
+}

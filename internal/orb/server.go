@@ -1,0 +1,288 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"autoadapt/internal/idl"
+	"autoadapt/internal/wire"
+)
+
+// Error codes carried in error replies. They mirror the CORBA system
+// exceptions the paper's runtime would raise.
+const (
+	CodeNoSuchObject = "NO_SUCH_OBJECT"
+	CodeBadOperation = "BAD_OPERATION"
+	CodeBadParam     = "BAD_PARAM"
+	CodeInternal     = "INTERNAL"
+	CodeApp          = "APP_ERROR"
+)
+
+// Servant is the dynamic skeleton interface: every object exposes a single
+// dispatch routine (the paper's DIR). The ORB delivers the operation name
+// and dynamically typed arguments; the servant returns result values or an
+// error.
+type Servant interface {
+	Invoke(op string, args []wire.Value) ([]wire.Value, error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(op string, args []wire.Value) ([]wire.Value, error)
+
+// Invoke implements Servant.
+func (f ServantFunc) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
+	return f(op, args)
+}
+
+// AppError is an application-level error raised by a servant; it crosses
+// the wire with CodeApp and is reconstructed on the client as a RemoteError
+// with the same message.
+type AppError struct{ Msg string }
+
+// Error implements error.
+func (e *AppError) Error() string { return e.Msg }
+
+// Appf builds an AppError.
+func Appf(format string, args ...any) error {
+	return &AppError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Network is the transport to listen on. Required.
+	Network Network
+	// Address to listen on ("127.0.0.1:0" for TCP, any name for inproc).
+	// Required.
+	Address string
+	// Repo, if set, enables dynamic type checking: every inbound call is
+	// validated against the servant's declared interface before dispatch.
+	Repo *idl.Repository
+	// Logger receives connection-level errors. Nil discards them.
+	Logger *log.Logger
+}
+
+// Server is an object adapter: it owns a listener, a table of servants
+// keyed by object key, and the connections currently being served.
+type Server struct {
+	opts     ServerOptions
+	listener Listener
+	endpoint string
+
+	mu       sync.RWMutex
+	servants map[string]*servantEntry
+	closed   bool
+
+	conns   map[net.Conn]struct{}
+	connsMu sync.Mutex
+
+	wg sync.WaitGroup
+}
+
+type servantEntry struct {
+	servant Servant
+	iface   string // interface name for type checking ("" = unchecked)
+}
+
+// NewServer starts a server listening on the configured address. The
+// returned server is running; call Close to stop it.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.Network == nil {
+		return nil, errors.New("orb: ServerOptions.Network is required")
+	}
+	l, err := opts.Network.Listen(opts.Address)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     opts,
+		listener: l,
+		endpoint: JoinEndpoint(opts.Network.Name(), l.Addr()),
+		servants: make(map[string]*servantEntry),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Endpoint returns the server's endpoint string ("tcp|host:port").
+func (s *Server) Endpoint() string { return s.endpoint }
+
+// Register installs a servant under key, declaring it implements iface
+// (may be "" to skip type checking even when a repository is configured).
+// Re-registering a key replaces the servant.
+func (s *Server) Register(key, iface string, sv Servant) wire.ObjRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servants[key] = &servantEntry{servant: sv, iface: iface}
+	return wire.ObjRef{Endpoint: s.endpoint, Key: key}
+}
+
+// Unregister removes a servant.
+func (s *Server) Unregister(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.servants, key)
+}
+
+// RefFor returns the object reference for key (whether or not a servant is
+// currently registered under it).
+func (s *Server) RefFor(key string) wire.ObjRef {
+	return wire.ObjRef{Endpoint: s.endpoint, Key: key}
+}
+
+// Lookup returns the servant registered under key, if any. Local callers
+// (e.g. the in-process fast path) use this to bypass the network.
+func (s *Server) Lookup(key string) (Servant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.servants[key]
+	if !ok {
+		return nil, false
+	}
+	return e.servant, true
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	err := s.listener.Close()
+	s.connsMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connsMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.connsMu.Lock()
+		delete(s.conns, conn)
+		s.connsMu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+				s.logf("orb: read frame: %v", err)
+			}
+			return
+		}
+		msg, err := wire.DecodeMessage(payload)
+		if err != nil {
+			s.logf("orb: decode message: %v", err)
+			return // protocol error: drop the connection
+		}
+		switch msg.Type {
+		case wire.MsgRequest:
+			reqWG.Add(1)
+			go func(req *wire.Request) {
+				defer reqWG.Done()
+				rep := s.dispatch(req)
+				out, err := wire.EncodeReply(rep)
+				if err != nil {
+					s.logf("orb: encode reply: %v", err)
+					return
+				}
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				if err := wire.WriteFrame(conn, out); err != nil {
+					s.logf("orb: write reply: %v", err)
+				}
+			}(msg.Req)
+		case wire.MsgOneway:
+			reqWG.Add(1)
+			go func(req *wire.Request) {
+				defer reqWG.Done()
+				_ = s.dispatch(req) // no reply, errors dropped by design
+			}(msg.Req)
+		default:
+			s.logf("orb: unexpected %s message on server connection", msg.Type)
+			return
+		}
+	}
+}
+
+// dispatch routes a request to its servant, applying IDL checking when
+// configured, and converts errors into error replies.
+func (s *Server) dispatch(req *wire.Request) *wire.Reply {
+	s.mu.RLock()
+	entry, ok := s.servants[req.ObjectKey]
+	s.mu.RUnlock()
+	if !ok {
+		return &wire.Reply{ID: req.ID, ErrCode: CodeNoSuchObject,
+			Err: fmt.Sprintf("no object %q", req.ObjectKey)}
+	}
+	if s.opts.Repo != nil && entry.iface != "" {
+		if _, err := s.opts.Repo.CheckCall(entry.iface, req.Operation, req.Args); err != nil {
+			var bad *idl.BadCallError
+			code := CodeBadParam
+			if errors.As(err, &bad) && bad.Msg == "no such operation" {
+				code = CodeBadOperation
+			}
+			return &wire.Reply{ID: req.ID, ErrCode: code, Err: err.Error()}
+		}
+	}
+	results, err := safeInvoke(entry.servant, req.Operation, req.Args)
+	if err != nil {
+		code := CodeApp
+		var app *AppError
+		if !errors.As(err, &app) {
+			code = CodeInternal
+		}
+		return &wire.Reply{ID: req.ID, ErrCode: code, Err: err.Error()}
+	}
+	return &wire.Reply{ID: req.ID, Results: results}
+}
+
+// safeInvoke shields the server from servant panics: a panicking servant
+// produces an INTERNAL error reply instead of tearing the process down.
+func safeInvoke(sv Servant, op string, args []wire.Value) (results []wire.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			results = nil
+			err = fmt.Errorf("servant panic in %s: %v", op, r)
+		}
+	}()
+	return sv.Invoke(op, args)
+}

@@ -1,0 +1,187 @@
+// Package orb implements the object request broker the infrastructure runs
+// on: the CORBA-analog substrate described in DESIGN.md §1.
+//
+// Clients invoke operations dynamically — Invoke(ref, "op", args...) — with
+// no compiled stubs (the DII analog, §II of the paper). Servers register
+// servants that implement a single dispatch routine receiving the operation
+// name and dynamically typed arguments (the DSI/DIR analog). Object
+// references (wire.ObjRef) name servants across the network and may be
+// passed as arguments or results, which is how observers hand themselves to
+// remote monitors. Oneway invocations elicit no reply, matching the paper's
+// oneway notifyEvent.
+//
+// Two transports are provided: TCP for real deployments and an in-process
+// channel transport for deterministic experiments and tests.
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Network abstracts a transport: a way to listen on and dial string
+// addresses. Endpoint strings are "network|address".
+type Network interface {
+	// Name is the network tag used in endpoint strings (e.g. "tcp").
+	Name() string
+	// Listen starts accepting connections on addr. For TCP, addr may end
+	// in ":0" to pick a free port; Listener.Addr reports the bound one.
+	Listen(addr string) (Listener, error)
+	// Dial opens a connection to addr.
+	Dial(addr string) (net.Conn, error)
+}
+
+// Listener accepts transport connections.
+type Listener interface {
+	Accept() (net.Conn, error)
+	Close() error
+	Addr() string
+}
+
+// TCPNetwork is the production transport.
+type TCPNetwork struct{}
+
+var _ Network = TCPNetwork{}
+
+// Name implements Network.
+func (TCPNetwork) Name() string { return "tcp" }
+
+// Listen implements Network.
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: listen %s: %w", addr, err)
+	}
+	return tcpListener{l}, nil
+}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t tcpListener) Accept() (net.Conn, error) { return t.l.Accept() }
+func (t tcpListener) Close() error              { return t.l.Close() }
+func (t tcpListener) Addr() string              { return t.l.Addr().String() }
+
+// InprocNetwork is an in-process transport: listeners register under string
+// names and dialing creates a synchronous net.Pipe pair. All parties must
+// share the same InprocNetwork instance. It exists so whole experiments —
+// trader, agents, monitors, clients — run in one process with no sockets,
+// deterministically and fast.
+type InprocNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+var _ Network = (*InprocNetwork)(nil)
+
+// NewInprocNetwork returns an empty in-process network.
+func NewInprocNetwork() *InprocNetwork {
+	return &InprocNetwork{listeners: make(map[string]*inprocListener)}
+}
+
+// Name implements Network.
+func (*InprocNetwork) Name() string { return "inproc" }
+
+// Listen implements Network.
+func (n *InprocNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		return nil, errors.New("orb: inproc listen: empty address")
+	}
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("orb: inproc address %q already in use", addr)
+	}
+	l := &inprocListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *InprocNetwork) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("orb: inproc dial %q: connection refused", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("orb: inproc dial %q: connection refused", addr)
+	}
+}
+
+// Addresses lists currently listening inproc addresses (for diagnostics).
+func (n *InprocNetwork) Addresses() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.listeners))
+	for a := range n.listeners {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type inprocListener struct {
+	net       *InprocNetwork
+	addr      string
+	accept    chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *inprocListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// SplitEndpoint splits "network|address" into its parts.
+func SplitEndpoint(endpoint string) (network, addr string, err error) {
+	i := strings.Index(endpoint, "|")
+	if i <= 0 || i == len(endpoint)-1 {
+		return "", "", fmt.Errorf("orb: malformed endpoint %q", endpoint)
+	}
+	return endpoint[:i], endpoint[i+1:], nil
+}
+
+// JoinEndpoint builds a "network|address" endpoint string.
+func JoinEndpoint(network, addr string) string { return network + "|" + addr }

@@ -1,0 +1,234 @@
+package script
+
+// AST node definitions. Every node records the source line it starts on so
+// runtime errors can point at shipped code (which arrives as anonymous
+// strings and would otherwise be undebuggable).
+
+// node is the common interface of statements and expressions.
+type node interface {
+	nodeLine() int
+}
+
+type base struct{ line int }
+
+func (b base) nodeLine() int { return b.line }
+
+// ---- statements ----
+
+type stmt interface {
+	node
+	stmtNode()
+}
+
+// blockStmt is a sequence of statements sharing one scope.
+type blockStmt struct {
+	base
+	stmts []stmt
+}
+
+// localStmt declares local variables: local a, b = e1, e2.
+type localStmt struct {
+	base
+	names []string
+	exprs []expr
+}
+
+// assignStmt assigns to one or more assignable targets: a, b.c[k] = e1, e2.
+type assignStmt struct {
+	base
+	targets []expr // nameExpr or indexExpr
+	exprs   []expr
+}
+
+// exprStmt is a function or method call used as a statement.
+type exprStmt struct {
+	base
+	call expr // callExpr or methodCallExpr
+}
+
+// ifStmt with elseif chains flattened into nested ifStmt in elseBlock.
+type ifStmt struct {
+	base
+	cond      expr
+	thenBlock *blockStmt
+	elseBlock *blockStmt // may be nil
+}
+
+// whileStmt is while cond do block end.
+type whileStmt struct {
+	base
+	cond expr
+	body *blockStmt
+}
+
+// repeatStmt is repeat block until cond.
+type repeatStmt struct {
+	base
+	body *blockStmt
+	cond expr
+}
+
+// numForStmt is for name = start, limit [, step] do body end.
+type numForStmt struct {
+	base
+	name               string
+	start, limit, step expr // step may be nil (defaults to 1)
+	body               *blockStmt
+}
+
+// genForStmt is for n1, n2 in explist do body end (iterator protocol).
+type genForStmt struct {
+	base
+	names []string
+	exprs []expr
+	body  *blockStmt
+}
+
+// returnStmt returns zero or more values.
+type returnStmt struct {
+	base
+	exprs []expr
+}
+
+// breakStmt exits the innermost loop.
+type breakStmt struct {
+	base
+}
+
+// funcStmt is function a.b.c(...) or function a:b(...) sugar.
+type funcStmt struct {
+	base
+	target   expr // where to store the function (nameExpr or indexExpr)
+	isMethod bool // a:b form adds implicit self
+	fn       *funcExpr
+}
+
+// localFuncStmt is local function name(...) ... end.
+type localFuncStmt struct {
+	base
+	name string
+	fn   *funcExpr
+}
+
+func (*blockStmt) stmtNode()     {}
+func (*localStmt) stmtNode()     {}
+func (*assignStmt) stmtNode()    {}
+func (*exprStmt) stmtNode()      {}
+func (*ifStmt) stmtNode()        {}
+func (*whileStmt) stmtNode()     {}
+func (*repeatStmt) stmtNode()    {}
+func (*numForStmt) stmtNode()    {}
+func (*genForStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()    {}
+func (*breakStmt) stmtNode()     {}
+func (*funcStmt) stmtNode()      {}
+func (*localFuncStmt) stmtNode() {}
+
+// ---- expressions ----
+
+type expr interface {
+	node
+	exprNode()
+}
+
+// nilExpr, trueExpr, falseExpr are literal singletons by type.
+type nilExpr struct{ base }
+type boolExpr struct {
+	base
+	val bool
+}
+type numberExpr struct {
+	base
+	val float64
+}
+type stringExpr struct {
+	base
+	val string
+}
+
+// nameExpr references a variable.
+type nameExpr struct {
+	base
+	name string
+}
+
+// indexExpr is a[k] or a.k (dot form stores a string key).
+type indexExpr struct {
+	base
+	obj expr
+	key expr
+}
+
+// callExpr is f(args).
+type callExpr struct {
+	base
+	fn   expr
+	args []expr
+}
+
+// methodCallExpr is obj:name(args) — sugar for obj.name(obj, args).
+type methodCallExpr struct {
+	base
+	obj  expr
+	name string
+	args []expr
+}
+
+// funcExpr is a function literal.
+type funcExpr struct {
+	base
+	params   []string
+	isVararg bool
+	body     *blockStmt
+	name     string // informational, for diagnostics
+}
+
+// binExpr is a binary operation.
+type binExpr struct {
+	base
+	op       tokenType
+	lhs, rhs expr
+}
+
+// unExpr is a unary operation (not, -, #).
+type unExpr struct {
+	base
+	op tokenType
+	e  expr
+}
+
+// tableExpr is a table constructor.
+type tableExpr struct {
+	base
+	arrayItems []expr
+	keys       []expr // parallel to vals; key nil means positional
+	vals       []expr
+}
+
+// varargExpr is ... inside a vararg function.
+type varargExpr struct{ base }
+
+func (*nilExpr) exprNode()        {}
+func (*boolExpr) exprNode()       {}
+func (*numberExpr) exprNode()     {}
+func (*stringExpr) exprNode()     {}
+func (*nameExpr) exprNode()       {}
+func (*indexExpr) exprNode()      {}
+func (*callExpr) exprNode()       {}
+func (*methodCallExpr) exprNode() {}
+func (*funcExpr) exprNode()       {}
+func (*binExpr) exprNode()        {}
+func (*unExpr) exprNode()         {}
+func (*tableExpr) exprNode()      {}
+func (*varargExpr) exprNode()     {}
+
+// funcProto is the compiled form of a function: its parameters and body,
+// plus metadata for diagnostics.
+type funcProto struct {
+	params   []string
+	isVararg bool
+	body     *blockStmt
+	name     string
+	chunk    string
+	line     int
+}

@@ -1,0 +1,84 @@
+package script
+
+import "testing"
+
+// Interpreter benchmarks supplementing experiment E7: raw language-kernel
+// costs, useful when tuning the tree walker.
+
+func benchEval(b *testing.B, src string) {
+	in := New(Options{})
+	fn, err := in.Compile("bench", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call(fn, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFib15(b *testing.B) {
+	benchEval(b, `
+		local function fib(n)
+			if n < 2 then return n end
+			return fib(n-1) + fib(n-2)
+		end
+		return fib(15)`)
+}
+
+func BenchmarkNumericLoop(b *testing.B) {
+	benchEval(b, `
+		local s = 0
+		for i = 1, 1000 do s = s + i end
+		return s`)
+}
+
+func BenchmarkTableChurn(b *testing.B) {
+	benchEval(b, `
+		local t = {}
+		for i = 1, 100 do t[i] = i * 2 end
+		local s = 0
+		for i = 1, 100 do s = s + t[i] end
+		return s`)
+}
+
+func BenchmarkStringConcat(b *testing.B) {
+	benchEval(b, `
+		local s = ""
+		for i = 1, 50 do s = s .. "x" end
+		return #s`)
+}
+
+func BenchmarkClosureCreationAndCall(b *testing.B) {
+	benchEval(b, `
+		local total = 0
+		for i = 1, 100 do
+			local f = function(x) return x + i end
+			total = total + f(i)
+		end
+		return total`)
+}
+
+func BenchmarkCompileFig7(b *testing.B) {
+	in := New(Options{})
+	src := `return function(self)
+		self._loadavg = self._loadavgmon:getValue()
+		local query
+		query = "LoadAvg < 50 and LoadAvgIncreasing == no"
+		if not self:_select(query) then
+			self._loadavgmon:attachEventObserver(self._observer, "LoadIncrease",
+				[[function(observer, value, monitor)
+					return value[1] > 70
+				end]])
+		end
+	end`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Compile("fig7", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

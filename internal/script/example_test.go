@@ -1,0 +1,70 @@
+package script_test
+
+import (
+	"fmt"
+	"os"
+
+	"autoadapt/internal/script"
+)
+
+// ExampleInterp_Eval runs a chunk with the standard library.
+func ExampleInterp_Eval() {
+	in := script.New(script.Options{Stdout: os.Stdout})
+	_, err := in.Eval("demo", `
+		local parts = {}
+		for i = 1, 3 do
+			table.insert(parts, "x" .. i)
+		end
+		print(table.concat(parts, ", "))
+	`)
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// x1, x2, x3
+}
+
+// ExampleInterp_Call compiles a shipped predicate once and evaluates it
+// against host-provided values — exactly what a monitor does with the
+// paper's Fig. 4 event-diagnosing function.
+func ExampleInterp_Call() {
+	in := script.New(script.Options{})
+	vs, err := in.Eval("predicate", `return function(observer, value, monitor)
+		return value > 50
+	end`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pred := vs[0]
+	for _, v := range []float64{10, 90} {
+		out, err := in.Call(pred, []script.Value{script.Nil(), script.Number(v), script.Nil()})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("value %v fires: %v\n", v, out[0].Truthy())
+	}
+	// Output:
+	// value 10 fires: false
+	// value 90 fires: true
+}
+
+// ExampleFunc shows host-function injection: the paper's "register C
+// functions so that Lua code can call them".
+func ExampleFunc() {
+	in := script.New(script.Options{Stdout: os.Stdout})
+	in.SetGlobal("loadavg", script.Func("loadavg",
+		func(_ *script.Interp, _ []script.Value) ([]script.Value, error) {
+			return []script.Value{script.Number(0.42), script.Number(0.40), script.Number(0.38)}, nil
+		}))
+	_, err := in.Eval("demo", `
+		local one, five, fifteen = loadavg()
+		print(one, five, fifteen)
+	`)
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// 0.42	0.4	0.38
+}

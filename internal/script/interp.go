@@ -1,0 +1,890 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"autoadapt/internal/clock"
+)
+
+// Errors returned by the interpreter.
+var (
+	// ErrStepBudget is returned when a chunk exceeds its execution budget.
+	// Shipped code from remote peers runs under this limit so a buggy or
+	// hostile predicate cannot wedge a monitor.
+	ErrStepBudget = errors.New("script: execution step budget exhausted")
+	// ErrNotCallable is returned when a non-function is called.
+	ErrNotCallable = errors.New("script: value is not callable")
+)
+
+// RuntimeError is a script-level error with a source position and, when
+// raised by error(), the script-provided value.
+type RuntimeError struct {
+	Chunk string
+	Line  int
+	Msg   string
+	// Value is the argument passed to error(), if any.
+	Value Value
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string {
+	if e.Chunk == "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s:%d: %s", e.Chunk, e.Line, e.Msg)
+}
+
+// Options configures an interpreter.
+type Options struct {
+	// Stdout receives print() output. Nil discards it.
+	Stdout io.Writer
+	// Clock, if set, enables the os.time()/os.date() builtins — the §VI
+	// "time of day" context property. Nil leaves the sandbox timeless.
+	Clock clock.Clock
+	// MaxSteps bounds the number of evaluation steps per top-level call
+	// into the interpreter (Eval/Call). Zero means DefaultMaxSteps.
+	// Negative means unlimited.
+	MaxSteps int
+	// Rand, if set, seeds math.random-style builtins deterministically.
+	// The function must return a float in [0,1).
+	Rand func() float64
+}
+
+// DefaultMaxSteps is the per-call step budget applied when Options.MaxSteps
+// is zero. It is generous: real strategies in this repository use a few
+// hundred steps.
+const DefaultMaxSteps = 5_000_000
+
+// Interp is an AdaptScript interpreter: a global environment plus
+// configuration. An Interp is NOT safe for concurrent use; callers that
+// share one across goroutines (e.g. a monitor evaluating predicates from
+// its timer and its RPC handler) must serialize access.
+type Interp struct {
+	globals *Table
+	opts    Options
+	steps   int
+	budget  int
+}
+
+// New returns an interpreter with the standard library installed.
+func New(opts Options) *Interp {
+	in := &Interp{globals: NewTable(), opts: opts}
+	in.installStdlib()
+	return in
+}
+
+// Globals returns the global environment table. Hosts extend the language
+// by storing Func values here (the paper's "register C functions so that
+// Lua code can call them").
+func (in *Interp) Globals() *Table { return in.globals }
+
+// SetGlobal is shorthand for Globals().SetString.
+func (in *Interp) SetGlobal(name string, v Value) { in.globals.SetString(name, v) }
+
+// Compile parses src into a callable function value without running it.
+// chunkName appears in error messages.
+func (in *Interp) Compile(chunkName, src string) (Value, error) {
+	block, err := parseChunk(chunkName, src)
+	if err != nil {
+		return Nil(), err
+	}
+	proto := &funcProto{body: block, chunk: chunkName, name: chunkName, isVararg: true}
+	cl := &Closure{proto: proto, env: &environment{globals: in.globals}}
+	return closureVal(cl), nil
+}
+
+// Eval compiles and runs src as a chunk, returning the values of its
+// top-level return statement (if any).
+func (in *Interp) Eval(chunkName, src string) ([]Value, error) {
+	fn, err := in.Compile(chunkName, src)
+	if err != nil {
+		return nil, err
+	}
+	return in.Call(fn, nil)
+}
+
+// EvalExpr compiles and runs "return (src)" — convenient for expression
+// strings such as trader constraints written in script syntax.
+func (in *Interp) EvalExpr(chunkName, src string) (Value, error) {
+	vs, err := in.Eval(chunkName, "return "+src)
+	if err != nil {
+		return Nil(), err
+	}
+	if len(vs) == 0 {
+		return Nil(), nil
+	}
+	return vs[0], nil
+}
+
+// Call invokes a function value with args, enforcing the step budget.
+func (in *Interp) Call(fn Value, args []Value) ([]Value, error) {
+	in.steps = 0
+	in.budget = in.opts.MaxSteps
+	if in.budget == 0 {
+		in.budget = DefaultMaxSteps
+	}
+	return in.call(fn, args, 0)
+}
+
+// CallNested invokes a function from inside a builtin without resetting the
+// step budget; use this from GoFuncs that receive script callbacks.
+func (in *Interp) CallNested(fn Value, args []Value) ([]Value, error) {
+	return in.call(fn, args, 0)
+}
+
+const maxCallDepth = 200
+
+func (in *Interp) call(fn Value, args []Value, depth int) ([]Value, error) {
+	if depth > maxCallDepth {
+		return nil, &RuntimeError{Msg: "call stack overflow"}
+	}
+	switch {
+	case fn.gf != nil:
+		return fn.gf.Fn(in, args)
+	case fn.cl != nil:
+		return in.callClosure(fn.cl, args, depth)
+	default:
+		return nil, fmt.Errorf("%w (got %s)", ErrNotCallable, fn.Kind())
+	}
+}
+
+func (in *Interp) callClosure(cl *Closure, args []Value, depth int) ([]Value, error) {
+	env := &environment{parent: cl.env, globals: in.globals, vars: map[string]*Value{}}
+	for i, p := range cl.proto.params {
+		v := Nil()
+		if i < len(args) {
+			v = args[i]
+		}
+		env.define(p, v)
+	}
+	if cl.proto.isVararg && len(args) > len(cl.proto.params) {
+		env.varargs = args[len(cl.proto.params):]
+		env.hasVarargs = true
+	} else if cl.proto.isVararg {
+		env.hasVarargs = true
+	}
+	fr := &frame{in: in, chunk: cl.proto.chunk, depth: depth}
+	ctl, err := fr.execBlock(cl.proto.body, env)
+	if err != nil {
+		return nil, err
+	}
+	if ctl != nil && ctl.kind == ctlReturn {
+		return ctl.values, nil
+	}
+	return nil, nil
+}
+
+// environment is a lexical scope chain.
+type environment struct {
+	parent     *environment
+	globals    *Table
+	vars       map[string]*Value
+	varargs    []Value
+	hasVarargs bool
+}
+
+func (e *environment) define(name string, v Value) {
+	if e.vars == nil {
+		e.vars = map[string]*Value{}
+	}
+	val := v
+	e.vars[name] = &val
+}
+
+// lookup finds the cell holding name, or nil if it is not a local.
+func (e *environment) lookup(name string) *Value {
+	for env := e; env != nil; env = env.parent {
+		if cell, ok := env.vars[name]; ok {
+			return cell
+		}
+	}
+	return nil
+}
+
+// findVarargs walks outward to the nearest function scope's varargs.
+func (e *environment) findVarargs() ([]Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if env.hasVarargs {
+			return env.varargs, true
+		}
+	}
+	return nil, false
+}
+
+// control describes non-linear exits from statement execution.
+type ctlKind int
+
+const (
+	ctlReturn ctlKind = iota + 1
+	ctlBreak
+)
+
+type control struct {
+	kind   ctlKind
+	values []Value
+}
+
+// frame carries per-call interpretation state.
+type frame struct {
+	in    *Interp
+	chunk string
+	depth int
+}
+
+func (f *frame) rtErr(line int, format string, args ...any) error {
+	return &RuntimeError{Chunk: f.chunk, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (f *frame) step(line int) error {
+	f.in.steps++
+	if f.in.budget >= 0 && f.in.steps > f.in.budget {
+		return fmt.Errorf("%s:%d: %w", f.chunk, line, ErrStepBudget)
+	}
+	return nil
+}
+
+func (f *frame) execBlock(b *blockStmt, env *environment) (*control, error) {
+	scope := &environment{parent: env, globals: env.globals}
+	for _, s := range b.stmts {
+		ctl, err := f.exec(s, scope)
+		if err != nil {
+			return nil, err
+		}
+		if ctl != nil {
+			return ctl, nil
+		}
+	}
+	return nil, nil
+}
+
+func (f *frame) exec(s stmt, env *environment) (*control, error) {
+	if err := f.step(s.nodeLine()); err != nil {
+		return nil, err
+	}
+	switch st := s.(type) {
+	case *blockStmt:
+		return f.execBlock(st, env)
+	case *localStmt:
+		vals, err := f.evalMulti(st.exprs, env, len(st.names))
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range st.names {
+			env.define(name, vals[i])
+		}
+		return nil, nil
+	case *localFuncStmt:
+		// Define first so the function can recurse.
+		env.define(st.name, Nil())
+		fn := f.makeClosure(st.fn, env)
+		*env.lookup(st.name) = fn
+		return nil, nil
+	case *funcStmt:
+		fn := f.makeClosure(st.fn, env)
+		return nil, f.assign(st.target, fn, env)
+	case *assignStmt:
+		vals, err := f.evalMulti(st.exprs, env, len(st.targets))
+		if err != nil {
+			return nil, err
+		}
+		for i, target := range st.targets {
+			if err := f.assign(target, vals[i], env); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	case *exprStmt:
+		_, err := f.evalN(st.call, env)
+		return nil, err
+	case *ifStmt:
+		cond, err := f.eval(st.cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Truthy() {
+			return f.execBlock(st.thenBlock, env)
+		}
+		if st.elseBlock != nil {
+			return f.execBlock(st.elseBlock, env)
+		}
+		return nil, nil
+	case *whileStmt:
+		for {
+			if err := f.step(st.line); err != nil {
+				return nil, err
+			}
+			cond, err := f.eval(st.cond, env)
+			if err != nil {
+				return nil, err
+			}
+			if !cond.Truthy() {
+				return nil, nil
+			}
+			ctl, err := f.execBlock(st.body, env)
+			if err != nil {
+				return nil, err
+			}
+			if ctl != nil {
+				if ctl.kind == ctlBreak {
+					return nil, nil
+				}
+				return ctl, nil
+			}
+		}
+	case *repeatStmt:
+		for {
+			if err := f.step(st.line); err != nil {
+				return nil, err
+			}
+			ctl, err := f.execBlock(st.body, env)
+			if err != nil {
+				return nil, err
+			}
+			if ctl != nil {
+				if ctl.kind == ctlBreak {
+					return nil, nil
+				}
+				return ctl, nil
+			}
+			cond, err := f.eval(st.cond, env)
+			if err != nil {
+				return nil, err
+			}
+			if cond.Truthy() {
+				return nil, nil
+			}
+		}
+	case *numForStmt:
+		return f.execNumFor(st, env)
+	case *genForStmt:
+		return f.execGenFor(st, env)
+	case *returnStmt:
+		vals, err := f.evalMulti(st.exprs, env, -1)
+		if err != nil {
+			return nil, err
+		}
+		return &control{kind: ctlReturn, values: vals}, nil
+	case *breakStmt:
+		return &control{kind: ctlBreak}, nil
+	default:
+		return nil, f.rtErr(s.nodeLine(), "unhandled statement %T", s)
+	}
+}
+
+func (f *frame) execNumFor(st *numForStmt, env *environment) (*control, error) {
+	start, err := f.evalNumber(st.start, env, "'for' initial value")
+	if err != nil {
+		return nil, err
+	}
+	limit, err := f.evalNumber(st.limit, env, "'for' limit")
+	if err != nil {
+		return nil, err
+	}
+	step := 1.0
+	if st.step != nil {
+		if step, err = f.evalNumber(st.step, env, "'for' step"); err != nil {
+			return nil, err
+		}
+	}
+	if step == 0 {
+		return nil, f.rtErr(st.line, "'for' step is zero")
+	}
+	for i := start; (step > 0 && i <= limit) || (step < 0 && i >= limit); i += step {
+		if err := f.step(st.line); err != nil {
+			return nil, err
+		}
+		scope := &environment{parent: env, globals: env.globals}
+		scope.define(st.name, Number(i))
+		ctl, err := f.execBlock(st.body, scope)
+		if err != nil {
+			return nil, err
+		}
+		if ctl != nil {
+			if ctl.kind == ctlBreak {
+				return nil, nil
+			}
+			return ctl, nil
+		}
+	}
+	return nil, nil
+}
+
+// execGenFor implements the Lua iterator protocol:
+// for v1,...,vn in f, s, ctl do body end — each iteration calls f(s, ctl).
+func (f *frame) execGenFor(st *genForStmt, env *environment) (*control, error) {
+	vals, err := f.evalMulti(st.exprs, env, 3)
+	if err != nil {
+		return nil, err
+	}
+	iter, state, ctlVar := vals[0], vals[1], vals[2]
+	for {
+		if err := f.step(st.line); err != nil {
+			return nil, err
+		}
+		rets, err := f.in.call(iter, []Value{state, ctlVar}, f.depth+1)
+		if err != nil {
+			return nil, err
+		}
+		var first Value
+		if len(rets) > 0 {
+			first = rets[0]
+		}
+		if first.IsNil() {
+			return nil, nil
+		}
+		ctlVar = first
+		scope := &environment{parent: env, globals: env.globals}
+		for i, name := range st.names {
+			v := Nil()
+			if i < len(rets) {
+				v = rets[i]
+			}
+			scope.define(name, v)
+		}
+		c, err := f.execBlock(st.body, scope)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			if c.kind == ctlBreak {
+				return nil, nil
+			}
+			return c, nil
+		}
+	}
+}
+
+func (f *frame) makeClosure(fe *funcExpr, env *environment) Value {
+	proto := &funcProto{
+		params:   fe.params,
+		isVararg: fe.isVararg,
+		body:     fe.body,
+		name:     fe.name,
+		chunk:    f.chunk,
+		line:     fe.line,
+	}
+	return closureVal(&Closure{proto: proto, env: env})
+}
+
+func (f *frame) assign(target expr, v Value, env *environment) error {
+	switch t := target.(type) {
+	case *nameExpr:
+		if cell := env.lookup(t.name); cell != nil {
+			*cell = v
+			return nil
+		}
+		env.globals.SetString(t.name, v)
+		return nil
+	case *indexExpr:
+		obj, err := f.eval(t.obj, env)
+		if err != nil {
+			return err
+		}
+		tbl, ok := obj.AsTable()
+		if !ok {
+			return f.rtErr(t.line, "attempt to index a %s value", obj.Kind())
+		}
+		key, err := f.eval(t.key, env)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Set(key, v); err != nil {
+			return f.rtErr(t.line, "%v", err)
+		}
+		return nil
+	default:
+		return f.rtErr(target.nodeLine(), "cannot assign to %T", target)
+	}
+}
+
+// evalMulti evaluates an expression list with Lua multi-value semantics:
+// every expression yields one value except the last, which expands if it is
+// a call or vararg. want < 0 keeps every value; otherwise the result is
+// padded/truncated to want.
+func (f *frame) evalMulti(exprs []expr, env *environment, want int) ([]Value, error) {
+	var out []Value
+	for i, e := range exprs {
+		if i == len(exprs)-1 {
+			vs, err := f.evalN(e, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vs...)
+		} else {
+			v, err := f.eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	if want >= 0 {
+		for len(out) < want {
+			out = append(out, Nil())
+		}
+		out = out[:want]
+	}
+	return out, nil
+}
+
+// evalN evaluates e, preserving multiple results for calls and varargs.
+func (f *frame) evalN(e expr, env *environment) ([]Value, error) {
+	switch ex := e.(type) {
+	case *callExpr:
+		fn, err := f.eval(ex.fn, env)
+		if err != nil {
+			return nil, err
+		}
+		args, err := f.evalMulti(ex.args, env, -1)
+		if err != nil {
+			return nil, err
+		}
+		rets, err := f.in.call(fn, args, f.depth+1)
+		if err != nil {
+			return nil, f.wrapCallErr(ex.line, err)
+		}
+		return rets, nil
+	case *methodCallExpr:
+		obj, err := f.eval(ex.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		var fn Value
+		switch obj.Kind() {
+		case KindTable:
+			fn = obj.t.GetString(ex.name)
+		case KindString:
+			// s:len() etc. resolve through the string library.
+			if lib, ok := env.globals.GetString("string").AsTable(); ok {
+				fn = lib.GetString(ex.name)
+			}
+		}
+		if fn.IsNil() {
+			return nil, f.rtErr(ex.line, "attempt to call method %q on a %s value", ex.name, obj.Kind())
+		}
+		args, err := f.evalMulti(ex.args, env, -1)
+		if err != nil {
+			return nil, err
+		}
+		args = append([]Value{obj}, args...)
+		rets, err := f.in.call(fn, args, f.depth+1)
+		if err != nil {
+			return nil, f.wrapCallErr(ex.line, err)
+		}
+		return rets, nil
+	case *varargExpr:
+		va, ok := env.findVarargs()
+		if !ok {
+			return nil, f.rtErr(ex.line, "cannot use '...' outside a vararg function")
+		}
+		return va, nil
+	default:
+		v, err := f.eval(e, env)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{v}, nil
+	}
+}
+
+// wrapCallErr attaches a position to errors that lack one.
+func (f *frame) wrapCallErr(line int, err error) error {
+	var rt *RuntimeError
+	if errors.As(err, &rt) {
+		return err
+	}
+	var syn *SyntaxError
+	if errors.As(err, &syn) {
+		return err
+	}
+	if errors.Is(err, ErrStepBudget) {
+		return err
+	}
+	return &RuntimeError{Chunk: f.chunk, Line: line, Msg: err.Error()}
+}
+
+func (f *frame) evalNumber(e expr, env *environment, what string) (float64, error) {
+	v, err := f.eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.AsNumber()
+	if !ok {
+		return 0, f.rtErr(e.nodeLine(), "%s must be a number (got %s)", what, v.Kind())
+	}
+	return n, nil
+}
+
+func (f *frame) eval(e expr, env *environment) (Value, error) {
+	if err := f.step(e.nodeLine()); err != nil {
+		return Nil(), err
+	}
+	switch ex := e.(type) {
+	case *nilExpr:
+		return Nil(), nil
+	case *boolExpr:
+		return Bool(ex.val), nil
+	case *numberExpr:
+		return Number(ex.val), nil
+	case *stringExpr:
+		return String(ex.val), nil
+	case *nameExpr:
+		if cell := env.lookup(ex.name); cell != nil {
+			return *cell, nil
+		}
+		return env.globals.GetString(ex.name), nil
+	case *parenExpr:
+		return f.eval(ex.e, env)
+	case *indexExpr:
+		obj, err := f.eval(ex.obj, env)
+		if err != nil {
+			return Nil(), err
+		}
+		key, err := f.eval(ex.key, env)
+		if err != nil {
+			return Nil(), err
+		}
+		switch obj.Kind() {
+		case KindTable:
+			return obj.t.Get(key), nil
+		case KindString:
+			// Allow s:len()-style access through the string library table.
+			lib, ok := env.globals.GetString("string").AsTable()
+			if ok {
+				return lib.Get(key), nil
+			}
+			return Nil(), f.rtErr(ex.line, "attempt to index a string value")
+		default:
+			return Nil(), f.rtErr(ex.line, "attempt to index a %s value (key %s)", obj.Kind(), key.ToString())
+		}
+	case *funcExpr:
+		return f.makeClosure(ex, env), nil
+	case *callExpr, *methodCallExpr, *varargExpr:
+		vs, err := f.evalN(e, env)
+		if err != nil {
+			return Nil(), err
+		}
+		if len(vs) == 0 {
+			return Nil(), nil
+		}
+		return vs[0], nil
+	case *tableExpr:
+		t := NewTable()
+		for i, item := range ex.arrayItems {
+			if i == len(ex.arrayItems)-1 && len(ex.keys) == 0 {
+				// Last positional item expands multi-values.
+				vs, err := f.evalN(item, env)
+				if err != nil {
+					return Nil(), err
+				}
+				for _, v := range vs {
+					t.Append(v)
+				}
+			} else {
+				v, err := f.eval(item, env)
+				if err != nil {
+					return Nil(), err
+				}
+				t.Append(v)
+			}
+		}
+		for i := range ex.keys {
+			k, err := f.eval(ex.keys[i], env)
+			if err != nil {
+				return Nil(), err
+			}
+			v, err := f.eval(ex.vals[i], env)
+			if err != nil {
+				return Nil(), err
+			}
+			if err := t.Set(k, v); err != nil {
+				return Nil(), f.rtErr(ex.line, "%v", err)
+			}
+		}
+		return TableVal(t), nil
+	case *unExpr:
+		return f.evalUnary(ex, env)
+	case *binExpr:
+		return f.evalBinary(ex, env)
+	default:
+		return Nil(), f.rtErr(e.nodeLine(), "unhandled expression %T", e)
+	}
+}
+
+func (f *frame) evalUnary(ex *unExpr, env *environment) (Value, error) {
+	v, err := f.eval(ex.e, env)
+	if err != nil {
+		return Nil(), err
+	}
+	switch ex.op {
+	case tokNot:
+		return Bool(!v.Truthy()), nil
+	case tokMinus:
+		n, ok := v.AsNumber()
+		if !ok {
+			return Nil(), f.rtErr(ex.line, "attempt to negate a %s value", v.Kind())
+		}
+		return Number(-n), nil
+	case tokHash:
+		switch v.Kind() {
+		case KindString:
+			return Int(len(v.s)), nil
+		case KindTable:
+			return Int(v.t.Len()), nil
+		default:
+			return Nil(), f.rtErr(ex.line, "attempt to get length of a %s value", v.Kind())
+		}
+	default:
+		return Nil(), f.rtErr(ex.line, "unhandled unary operator %s", ex.op)
+	}
+}
+
+func (f *frame) evalBinary(ex *binExpr, env *environment) (Value, error) {
+	// Short-circuit operators first.
+	switch ex.op {
+	case tokAnd:
+		lhs, err := f.eval(ex.lhs, env)
+		if err != nil {
+			return Nil(), err
+		}
+		if !lhs.Truthy() {
+			return lhs, nil
+		}
+		return f.eval(ex.rhs, env)
+	case tokOr:
+		lhs, err := f.eval(ex.lhs, env)
+		if err != nil {
+			return Nil(), err
+		}
+		if lhs.Truthy() {
+			return lhs, nil
+		}
+		return f.eval(ex.rhs, env)
+	}
+	lhs, err := f.eval(ex.lhs, env)
+	if err != nil {
+		return Nil(), err
+	}
+	rhs, err := f.eval(ex.rhs, env)
+	if err != nil {
+		return Nil(), err
+	}
+	switch ex.op {
+	case tokEq:
+		return Bool(lhs.Equal(rhs)), nil
+	case tokNe:
+		return Bool(!lhs.Equal(rhs)), nil
+	case tokConcat:
+		ls, lok := concatString(lhs)
+		rs, rok := concatString(rhs)
+		if !lok || !rok {
+			return Nil(), f.rtErr(ex.line, "attempt to concatenate a %s value",
+				pickBadKind(lhs, rhs, lok))
+		}
+		return String(ls + rs), nil
+	case tokLt, tokLe, tokGt, tokGe:
+		return f.compare(ex, lhs, rhs)
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent, tokCaret:
+		ln, lok := lhs.AsNumber()
+		rn, rok := rhs.AsNumber()
+		if !lok || !rok {
+			return Nil(), f.rtErr(ex.line, "attempt to perform arithmetic on a %s value",
+				pickBadKind(lhs, rhs, lok))
+		}
+		return Number(arith(ex.op, ln, rn)), nil
+	default:
+		return Nil(), f.rtErr(ex.line, "unhandled operator %s", ex.op)
+	}
+}
+
+func pickBadKind(lhs, rhs Value, lok bool) Kind {
+	if !lok {
+		return lhs.Kind()
+	}
+	return rhs.Kind()
+}
+
+func concatString(v Value) (string, bool) {
+	switch v.Kind() {
+	case KindString:
+		return v.s, true
+	case KindNumber:
+		return v.ToString(), true
+	default:
+		return "", false
+	}
+}
+
+func arith(op tokenType, a, b float64) float64 {
+	switch op {
+	case tokPlus:
+		return a + b
+	case tokMinus:
+		return a - b
+	case tokStar:
+		return a * b
+	case tokSlash:
+		return a / b
+	case tokPercent:
+		// Lua modulo: result has the sign of the divisor.
+		m := a - floorDiv(a, b)*b
+		return m
+	case tokCaret:
+		return pow(a, b)
+	default:
+		return 0
+	}
+}
+
+func floorDiv(a, b float64) float64 {
+	q := a / b
+	fq := float64(int64(q))
+	if q < 0 && fq != q {
+		fq--
+	}
+	return fq
+}
+
+func pow(a, b float64) float64 {
+	// Integer fast path keeps results exact for small exponents.
+	if b == float64(int(b)) && b >= 0 && b <= 64 {
+		r := 1.0
+		for i := 0; i < int(b); i++ {
+			r *= a
+		}
+		return r
+	}
+	return mathPow(a, b)
+}
+
+func (f *frame) compare(ex *binExpr, lhs, rhs Value) (Value, error) {
+	var res int
+	switch {
+	case lhs.Kind() == KindNumber && rhs.Kind() == KindNumber:
+		switch {
+		case lhs.n < rhs.n:
+			res = -1
+		case lhs.n > rhs.n:
+			res = 1
+		}
+	case lhs.Kind() == KindString && rhs.Kind() == KindString:
+		res = strings.Compare(lhs.s, rhs.s)
+	default:
+		return Nil(), f.rtErr(ex.line, "attempt to compare %s with %s", lhs.Kind(), rhs.Kind())
+	}
+	switch ex.op {
+	case tokLt:
+		return Bool(res < 0), nil
+	case tokLe:
+		return Bool(res <= 0), nil
+	case tokGt:
+		return Bool(res > 0), nil
+	case tokGe:
+		return Bool(res >= 0), nil
+	default:
+		return Nil(), f.rtErr(ex.line, "bad comparison operator")
+	}
+}

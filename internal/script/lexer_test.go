@@ -1,0 +1,152 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// lexAll tokenizes src completely.
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer("t", src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.typ == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexKeywordsVsNames(t *testing.T) {
+	toks := lexAll(t, "if iffy end ender not nothing")
+	want := []tokenType{tokIf, tokName, tokEnd, tokName, tokNot, tokName}
+	if len(toks) != len(want) {
+		t.Fatalf("toks = %v", toks)
+	}
+	for i, w := range want {
+		if toks[i].typ != w {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].typ, w)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := map[string]float64{
+		"0":      0,
+		"42":     42,
+		"3.5":    3.5,
+		".25":    0.25,
+		"1e2":    100,
+		"1.5e-1": 0.15,
+		"2E+2":   200,
+		"0xff":   255,
+		"0X10":   16,
+	}
+	for src, want := range tests {
+		toks := lexAll(t, src)
+		if len(toks) != 1 || toks[0].typ != tokNumber || toks[0].num != want {
+			t.Errorf("lex(%q) = %+v, want number %v", src, toks, want)
+		}
+	}
+}
+
+func TestLexMalformedNumbers(t *testing.T) {
+	for _, src := range []string{"1e", "1e+", "0x"} {
+		l := newLexer("t", src)
+		if _, err := l.next(); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "== ~= <= >= < > = .. ... . + - * / % ^ #")
+	want := []tokenType{tokEq, tokNe, tokLe, tokGe, tokLt, tokGt, tokAssign,
+		tokConcat, tokEllipsis, tokDot, tokPlus, tokMinus, tokStar,
+		tokSlash, tokPercent, tokCaret, tokHash}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].typ != w {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].typ, w)
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks := lexAll(t, "a\nb\n\nc")
+	if toks[0].line != 1 || toks[1].line != 2 || toks[2].line != 4 {
+		t.Fatalf("lines = %d %d %d", toks[0].line, toks[1].line, toks[2].line)
+	}
+}
+
+func TestLexCommentsSkipped(t *testing.T) {
+	toks := lexAll(t, "a -- comment\nb --[[ block\nstill comment ]] c")
+	if len(toks) != 3 {
+		t.Fatalf("toks = %v", toks)
+	}
+	if toks[2].line != 3 {
+		// Block comment spans a newline; c is on line 3.
+		t.Fatalf("c on line %d", toks[2].line)
+	}
+}
+
+func TestLexUnterminatedConstructs(t *testing.T) {
+	for _, src := range []string{
+		`"abc`,
+		"'abc",
+		"\"ab\ncd\"",
+		"[[abc",
+		"--[[ never closed",
+		`"\q"`,   // bad escape
+		`"\300"`, // decimal escape > 255
+	} {
+		l := newLexer("t", src)
+		var err error
+		for err == nil {
+			var tok token
+			tok, err = l.next()
+			if err == nil && tok.typ == tokEOF {
+				t.Errorf("lex(%q) hit EOF without error", src)
+				break
+			}
+		}
+	}
+}
+
+func TestLexErrorsCarryLineNumbers(t *testing.T) {
+	l := newLexer("chunk", "ok\nok\n\"unterminated")
+	var err error
+	for err == nil {
+		var tok token
+		tok, err = l.next()
+		if err == nil && tok.typ == tokEOF {
+			t.Fatal("expected error")
+		}
+	}
+	if !strings.Contains(err.Error(), "chunk:3") {
+		t.Fatalf("error position = %v", err)
+	}
+}
+
+func TestSyntaxErrorType(t *testing.T) {
+	e := &SyntaxError{Chunk: "c", Line: 7, Msg: "boom"}
+	if e.Error() != "c:7: boom" {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	if tokIf.String() != "if" || tokEq.String() != "==" || tokEOF.String() != "<eof>" {
+		t.Fatal("token names wrong")
+	}
+	if tokenType(999).String() == "" {
+		t.Fatal("unknown token should render")
+	}
+}

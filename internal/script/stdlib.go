@@ -1,0 +1,554 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// mathPow is split out so interp.go needs no math import of its own.
+func mathPow(a, b float64) float64 { return math.Pow(a, b) }
+
+// installStdlib populates the global environment with the base library, and
+// the string, math and table libraries. Everything here is pure or writes
+// only to Options.Stdout: the sandbox has no filesystem, network or process
+// access unless the host injects it.
+func (in *Interp) installStdlib() {
+	g := in.globals
+
+	g.SetString("print", Func("print", func(i *Interp, args []Value) ([]Value, error) {
+		if i.opts.Stdout == nil {
+			return nil, nil
+		}
+		parts := make([]string, len(args))
+		for n, a := range args {
+			parts[n] = a.ToString()
+		}
+		fmt.Fprintln(i.opts.Stdout, strings.Join(parts, "\t"))
+		return nil, nil
+	}))
+
+	g.SetString("type", Func("type", func(_ *Interp, args []Value) ([]Value, error) {
+		return []Value{String(arg(args, 0).Kind().String())}, nil
+	}))
+
+	g.SetString("tostring", Func("tostring", func(_ *Interp, args []Value) ([]Value, error) {
+		return []Value{String(arg(args, 0).ToString())}, nil
+	}))
+
+	g.SetString("tonumber", Func("tonumber", func(_ *Interp, args []Value) ([]Value, error) {
+		v := arg(args, 0)
+		switch v.Kind() {
+		case KindNumber:
+			return []Value{v}, nil
+		case KindString:
+			n, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return []Value{Nil()}, nil
+			}
+			return []Value{Number(n)}, nil
+		default:
+			return []Value{Nil()}, nil
+		}
+	}))
+
+	g.SetString("error", Func("error", func(_ *Interp, args []Value) ([]Value, error) {
+		v := arg(args, 0)
+		return nil, &RuntimeError{Msg: v.ToString(), Value: v}
+	}))
+
+	g.SetString("assert", Func("assert", func(_ *Interp, args []Value) ([]Value, error) {
+		if !arg(args, 0).Truthy() {
+			msg := "assertion failed!"
+			if len(args) > 1 {
+				msg = args[1].ToString()
+			}
+			return nil, &RuntimeError{Msg: msg, Value: arg(args, 1)}
+		}
+		return args, nil
+	}))
+
+	g.SetString("pcall", Func("pcall", func(i *Interp, args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return []Value{Bool(false), String("pcall: missing function")}, nil
+		}
+		rets, err := i.CallNested(args[0], args[1:])
+		if err != nil {
+			// Budget exhaustion is not catchable: it must propagate so the
+			// host regains control from hostile code.
+			if isBudgetErr(err) {
+				return nil, err
+			}
+			return []Value{Bool(false), String(err.Error())}, nil
+		}
+		return append([]Value{Bool(true)}, rets...), nil
+	}))
+
+	g.SetString("pairs", Func("pairs", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "pairs: argument is not a table"}
+		}
+		iter := tableIterator(t)
+		return []Value{iter, arg(args, 0), Nil()}, nil
+	}))
+
+	g.SetString("ipairs", Func("ipairs", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "ipairs: argument is not a table"}
+		}
+		iter := Func("ipairs-iterator", func(_ *Interp, iargs []Value) ([]Value, error) {
+			i := int(arg(iargs, 1).Num()) + 1
+			v := t.Index(i)
+			if v.IsNil() {
+				return []Value{Nil()}, nil
+			}
+			return []Value{Int(i), v}, nil
+		})
+		return []Value{iter, arg(args, 0), Int(0)}, nil
+	}))
+
+	g.SetString("rawget", Func("rawget", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "rawget: argument is not a table"}
+		}
+		return []Value{t.Get(arg(args, 1))}, nil
+	}))
+
+	g.SetString("rawset", Func("rawset", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "rawset: argument is not a table"}
+		}
+		if err := t.Set(arg(args, 1), arg(args, 2)); err != nil {
+			return nil, err
+		}
+		return []Value{arg(args, 0)}, nil
+	}))
+
+	in.installStringLib()
+	in.installMathLib()
+	in.installTableLib()
+	in.installOSLib()
+}
+
+// installOSLib provides os.time (unix seconds), os.clock (seconds within
+// the day) and os.date("%H"|"%M"|"%w") — enough for time-of-day adaptation
+// strategies (§VI). Only present when a Clock was configured: the default
+// sandbox stays deterministic and timeless.
+func (in *Interp) installOSLib() {
+	if in.opts.Clock == nil {
+		return
+	}
+	lib := NewTable()
+	lib.SetString("time", Func("os.time", func(i *Interp, _ []Value) ([]Value, error) {
+		return []Value{Number(float64(i.opts.Clock.Now().Unix()))}, nil
+	}))
+	lib.SetString("clock", Func("os.clock", func(i *Interp, _ []Value) ([]Value, error) {
+		now := i.opts.Clock.Now()
+		secs := float64(now.Hour()*3600+now.Minute()*60+now.Second()) + float64(now.Nanosecond())/1e9
+		return []Value{Number(secs)}, nil
+	}))
+	lib.SetString("date", Func("os.date", func(i *Interp, args []Value) ([]Value, error) {
+		now := i.opts.Clock.Now()
+		f := arg(args, 0).Str()
+		switch f {
+		case "%H":
+			return []Value{String(fmt.Sprintf("%02d", now.Hour()))}, nil
+		case "%M":
+			return []Value{String(fmt.Sprintf("%02d", now.Minute()))}, nil
+		case "%w":
+			return []Value{String(fmt.Sprintf("%d", int(now.Weekday())))}, nil
+		case "", "%c":
+			return []Value{String(now.Format("Mon Jan  2 15:04:05 2006"))}, nil
+		default:
+			return nil, &RuntimeError{Msg: "os.date: unsupported format " + f}
+		}
+	}))
+	in.globals.SetString("os", TableVal(lib))
+}
+
+// tableIterator returns a stateful next() over a snapshot of t's keys, so
+// mutating the table mid-iteration is safe (it iterates the snapshot).
+func tableIterator(t *Table) Value {
+	var keys []Value
+	t.Pairs(func(k, _ Value) bool {
+		keys = append(keys, k)
+		return true
+	})
+	idx := 0
+	return Func("pairs-iterator", func(_ *Interp, _ []Value) ([]Value, error) {
+		for idx < len(keys) {
+			k := keys[idx]
+			idx++
+			v := t.Get(k)
+			if !v.IsNil() {
+				return []Value{k, v}, nil
+			}
+		}
+		return []Value{Nil()}, nil
+	})
+}
+
+func (in *Interp) installStringLib() {
+	lib := NewTable()
+	lib.SetString("len", Func("string.len", func(_ *Interp, args []Value) ([]Value, error) {
+		s, err := strArg(args, 0, "string.len")
+		if err != nil {
+			return nil, err
+		}
+		return []Value{Int(len(s))}, nil
+	}))
+	lib.SetString("sub", Func("string.sub", func(_ *Interp, args []Value) ([]Value, error) {
+		s, err := strArg(args, 0, "string.sub")
+		if err != nil {
+			return nil, err
+		}
+		i, j := int(arg(args, 1).Num()), len(s)
+		if len(args) > 2 && args[2].Kind() == KindNumber {
+			j = int(args[2].Num())
+		}
+		i, j = strRange(i, j, len(s))
+		if i > j {
+			return []Value{String("")}, nil
+		}
+		return []Value{String(s[i-1 : j])}, nil
+	}))
+	lib.SetString("upper", Func("string.upper", func(_ *Interp, args []Value) ([]Value, error) {
+		s, err := strArg(args, 0, "string.upper")
+		if err != nil {
+			return nil, err
+		}
+		return []Value{String(strings.ToUpper(s))}, nil
+	}))
+	lib.SetString("lower", Func("string.lower", func(_ *Interp, args []Value) ([]Value, error) {
+		s, err := strArg(args, 0, "string.lower")
+		if err != nil {
+			return nil, err
+		}
+		return []Value{String(strings.ToLower(s))}, nil
+	}))
+	lib.SetString("rep", Func("string.rep", func(_ *Interp, args []Value) ([]Value, error) {
+		s, err := strArg(args, 0, "string.rep")
+		if err != nil {
+			return nil, err
+		}
+		n := int(arg(args, 1).Num())
+		if n < 0 {
+			n = 0
+		}
+		if n*len(s) > 1<<20 {
+			return nil, &RuntimeError{Msg: "string.rep: result too large"}
+		}
+		return []Value{String(strings.Repeat(s, n))}, nil
+	}))
+	lib.SetString("find", Func("string.find", func(_ *Interp, args []Value) ([]Value, error) {
+		// Plain substring find (no patterns): returns start, stop or nil.
+		s, err := strArg(args, 0, "string.find")
+		if err != nil {
+			return nil, err
+		}
+		sub, err := strArg(args, 1, "string.find")
+		if err != nil {
+			return nil, err
+		}
+		idx := strings.Index(s, sub)
+		if idx < 0 {
+			return []Value{Nil()}, nil
+		}
+		return []Value{Int(idx + 1), Int(idx + len(sub))}, nil
+	}))
+	lib.SetString("format", Func("string.format", func(_ *Interp, args []Value) ([]Value, error) {
+		f, err := strArg(args, 0, "string.format")
+		if err != nil {
+			return nil, err
+		}
+		out, err := scriptFormat(f, args[1:])
+		if err != nil {
+			return nil, err
+		}
+		return []Value{String(out)}, nil
+	}))
+	in.globals.SetString("string", TableVal(lib))
+	// The paper's listings use strlen-style globals from Lua 4; alias the
+	// common ones so Fig. 3/4/7 code runs unmodified.
+	in.globals.SetString("strlen", lib.GetString("len"))
+	in.globals.SetString("strsub", lib.GetString("sub"))
+	in.globals.SetString("format", lib.GetString("format"))
+}
+
+// scriptFormat implements a %-subset: %d %i %f %g %s %q %x %% with optional
+// width/precision handled by Go's fmt.
+func scriptFormat(f string, args []Value) (string, error) {
+	var sb strings.Builder
+	ai := 0
+	for i := 0; i < len(f); i++ {
+		c := f[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		j := i + 1
+		for j < len(f) && (f[j] == '-' || f[j] == '+' || f[j] == ' ' || f[j] == '0' || f[j] == '.' || isDigit(f[j])) {
+			j++
+		}
+		if j >= len(f) {
+			return "", &RuntimeError{Msg: "string.format: truncated directive"}
+		}
+		verb := f[j]
+		spec := f[i : j+1]
+		i = j
+		if verb == '%' {
+			sb.WriteByte('%')
+			continue
+		}
+		if ai >= len(args) {
+			return "", &RuntimeError{Msg: "string.format: not enough arguments"}
+		}
+		a := args[ai]
+		ai++
+		switch verb {
+		case 'd', 'i', 'x', 'X':
+			goSpec := spec
+			if verb == 'i' {
+				goSpec = spec[:len(spec)-1] + "d"
+			}
+			fmt.Fprintf(&sb, goSpec, int64(a.Num()))
+		case 'f', 'g', 'G', 'e', 'E':
+			fmt.Fprintf(&sb, spec, a.Num())
+		case 's':
+			fmt.Fprintf(&sb, spec, a.ToString())
+		case 'q':
+			fmt.Fprintf(&sb, "%q", a.ToString())
+		default:
+			return "", &RuntimeError{Msg: fmt.Sprintf("string.format: unsupported verb %%%c", verb)}
+		}
+	}
+	return sb.String(), nil
+}
+
+func (in *Interp) installMathLib() {
+	lib := NewTable()
+	unary := func(name string, fn func(float64) float64) {
+		lib.SetString(name, Func("math."+name, func(_ *Interp, args []Value) ([]Value, error) {
+			n, ok := arg(args, 0).AsNumber()
+			if !ok {
+				return nil, &RuntimeError{Msg: "math." + name + ": argument is not a number"}
+			}
+			return []Value{Number(fn(n))}, nil
+		}))
+	}
+	unary("floor", math.Floor)
+	unary("ceil", math.Ceil)
+	unary("abs", math.Abs)
+	unary("sqrt", math.Sqrt)
+	unary("exp", math.Exp)
+	unary("log", math.Log)
+	lib.SetString("huge", Number(math.Inf(1)))
+	lib.SetString("pi", Number(math.Pi))
+	lib.SetString("max", Func("math.max", func(_ *Interp, args []Value) ([]Value, error) {
+		return reduceNums(args, "math.max", math.Max)
+	}))
+	lib.SetString("min", Func("math.min", func(_ *Interp, args []Value) ([]Value, error) {
+		return reduceNums(args, "math.min", math.Min)
+	}))
+	lib.SetString("random", Func("math.random", func(i *Interp, args []Value) ([]Value, error) {
+		if i.opts.Rand == nil {
+			return nil, &RuntimeError{Msg: "math.random: no random source configured"}
+		}
+		r := i.opts.Rand()
+		switch len(args) {
+		case 0:
+			return []Value{Number(r)}, nil
+		case 1:
+			m := int(args[0].Num())
+			if m < 1 {
+				return nil, &RuntimeError{Msg: "math.random: empty interval"}
+			}
+			return []Value{Int(1 + int(r*float64(m)))}, nil
+		default:
+			lo, hi := int(args[0].Num()), int(args[1].Num())
+			if lo > hi {
+				return nil, &RuntimeError{Msg: "math.random: empty interval"}
+			}
+			return []Value{Int(lo + int(r*float64(hi-lo+1)))}, nil
+		}
+	}))
+	in.globals.SetString("math", TableVal(lib))
+}
+
+func reduceNums(args []Value, name string, fn func(a, b float64) float64) ([]Value, error) {
+	if len(args) == 0 {
+		return nil, &RuntimeError{Msg: name + ": no arguments"}
+	}
+	acc, ok := args[0].AsNumber()
+	if !ok {
+		return nil, &RuntimeError{Msg: name + ": argument is not a number"}
+	}
+	for _, a := range args[1:] {
+		n, ok := a.AsNumber()
+		if !ok {
+			return nil, &RuntimeError{Msg: name + ": argument is not a number"}
+		}
+		acc = fn(acc, n)
+	}
+	return []Value{Number(acc)}, nil
+}
+
+func (in *Interp) installTableLib() {
+	lib := NewTable()
+	lib.SetString("insert", Func("table.insert", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "table.insert: argument is not a table"}
+		}
+		switch len(args) {
+		case 2:
+			t.Append(args[1])
+		case 3:
+			pos := int(args[1].Num())
+			if pos < 1 || pos > t.Len()+1 {
+				return nil, &RuntimeError{Msg: "table.insert: position out of bounds"}
+			}
+			t.arr = append(t.arr, Nil())
+			copy(t.arr[pos:], t.arr[pos-1:])
+			t.arr[pos-1] = args[2]
+		default:
+			return nil, &RuntimeError{Msg: "table.insert: wrong number of arguments"}
+		}
+		return nil, nil
+	}))
+	lib.SetString("remove", Func("table.remove", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "table.remove: argument is not a table"}
+		}
+		pos := t.Len()
+		if len(args) > 1 {
+			pos = int(args[1].Num())
+		}
+		if t.Len() == 0 {
+			return []Value{Nil()}, nil
+		}
+		if pos < 1 || pos > t.Len() {
+			return nil, &RuntimeError{Msg: "table.remove: position out of bounds"}
+		}
+		v := t.arr[pos-1]
+		copy(t.arr[pos-1:], t.arr[pos:])
+		t.arr = t.arr[:len(t.arr)-1]
+		return []Value{v}, nil
+	}))
+	lib.SetString("concat", Func("table.concat", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "table.concat: argument is not a table"}
+		}
+		sep := ""
+		if len(args) > 1 {
+			sep = args[1].Str()
+		}
+		parts := make([]string, 0, t.Len())
+		for i := 1; i <= t.Len(); i++ {
+			v := t.Index(i)
+			s, ok := concatString(v)
+			if !ok {
+				return nil, &RuntimeError{Msg: fmt.Sprintf("table.concat: element %d is a %s", i, v.Kind())}
+			}
+			parts = append(parts, s)
+		}
+		return []Value{String(strings.Join(parts, sep))}, nil
+	}))
+	lib.SetString("sort", Func("table.sort", func(i *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "table.sort: argument is not a table"}
+		}
+		var cmp Value
+		if len(args) > 1 {
+			cmp = args[1]
+		}
+		var sortErr error
+		sort.SliceStable(t.arr, func(a, b int) bool {
+			if sortErr != nil {
+				return false
+			}
+			x, y := t.arr[a], t.arr[b]
+			if cmp.IsFunction() {
+				rets, err := i.CallNested(cmp, []Value{x, y})
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				return len(rets) > 0 && rets[0].Truthy()
+			}
+			switch {
+			case x.Kind() == KindNumber && y.Kind() == KindNumber:
+				return x.n < y.n
+			case x.Kind() == KindString && y.Kind() == KindString:
+				return x.s < y.s
+			default:
+				sortErr = &RuntimeError{Msg: "table.sort: incomparable elements"}
+				return false
+			}
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		return nil, nil
+	}))
+	lib.SetString("getn", Func("table.getn", func(_ *Interp, args []Value) ([]Value, error) {
+		t, ok := arg(args, 0).AsTable()
+		if !ok {
+			return nil, &RuntimeError{Msg: "table.getn: argument is not a table"}
+		}
+		return []Value{Int(t.Len())}, nil
+	}))
+	in.globals.SetString("table", TableVal(lib))
+	// Lua 4-style aliases used in the paper's era.
+	in.globals.SetString("tinsert", lib.GetString("insert"))
+	in.globals.SetString("tremove", lib.GetString("remove"))
+	in.globals.SetString("getn", lib.GetString("getn"))
+}
+
+// arg fetches args[i] or nil.
+func arg(args []Value, i int) Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return Nil()
+}
+
+func strArg(args []Value, i int, what string) (string, error) {
+	v := arg(args, i)
+	if s, ok := v.AsString(); ok {
+		return s, nil
+	}
+	if v.Kind() == KindNumber {
+		return v.ToString(), nil
+	}
+	return "", &RuntimeError{Msg: what + ": argument is not a string"}
+}
+
+// strRange normalizes Lua-style 1-based, possibly negative ranges.
+func strRange(i, j, n int) (int, int) {
+	if i < 0 {
+		i = n + i + 1
+	}
+	if j < 0 {
+		j = n + j + 1
+	}
+	if i < 1 {
+		i = 1
+	}
+	if j > n {
+		j = n
+	}
+	return i, j
+}
+
+func isBudgetErr(err error) bool { return errors.Is(err, ErrStepBudget) }

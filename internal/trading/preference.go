@@ -1,0 +1,153 @@
+package trading
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"autoadapt/internal/wire"
+)
+
+// Preference orders query results. The supported forms follow the OMG
+// trader preference grammar:
+//
+//	first            — keep export order (the default)
+//	random           — deterministic shuffle (seeded by the offer ids, so
+//	                   repeated queries spread load without true randomness)
+//	min <expr>       — ascending by the expression's numeric value
+//	max <expr>       — descending by the expression's numeric value
+//	with <expr>      — offers satisfying expr sort before those that do not
+//
+// Offers for which the preference expression cannot be evaluated sort last
+// (OMG semantics), rather than being dropped: the paper's fallback query
+// "specifies only offer sorting, and no filtering" and must still see every
+// offer.
+type Preference struct {
+	src  string
+	kind prefKind
+	expr cexpr
+}
+
+type prefKind int
+
+const (
+	prefFirst prefKind = iota + 1
+	prefRandom
+	prefMin
+	prefMax
+	prefWith
+)
+
+// ParsePreference compiles a preference string; empty means "first".
+func ParsePreference(src string) (*Preference, error) {
+	s := strings.TrimSpace(src)
+	if s == "" || s == "first" {
+		return &Preference{src: src, kind: prefFirst}, nil
+	}
+	if s == "random" {
+		return &Preference{src: src, kind: prefRandom}, nil
+	}
+	var kind prefKind
+	var rest string
+	switch {
+	case strings.HasPrefix(s, "min "):
+		kind, rest = prefMin, s[4:]
+	case strings.HasPrefix(s, "max "):
+		kind, rest = prefMax, s[4:]
+	case strings.HasPrefix(s, "with "):
+		kind, rest = prefWith, s[5:]
+	default:
+		return nil, fmt.Errorf("trading: malformed preference %q", src)
+	}
+	p := &cparser{src: rest}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trading: preference %q: trailing input", src)
+	}
+	return &Preference{src: src, kind: kind, expr: e}, nil
+}
+
+// Source returns the original preference text.
+func (p *Preference) Source() string { return p.src }
+
+// Sort orders results in place.
+func (p *Preference) Sort(results []QueryResult) error {
+	switch p.kind {
+	case prefFirst:
+		return nil
+	case prefRandom:
+		sort.SliceStable(results, func(i, j int) bool {
+			return offerHash(results[i].Offer.ID) < offerHash(results[j].Offer.ID)
+		})
+		return nil
+	case prefMin, prefMax, prefWith:
+		type keyed struct {
+			ok  bool
+			num float64
+		}
+		keys := make([]keyed, len(results))
+		for i := range results {
+			snap := results[i].Snapshot
+			v, err := p.expr.eval(func(name string) (wire.Value, bool) {
+				val, ok := snap[name]
+				return val, ok
+			})
+			if err != nil {
+				keys[i] = keyed{ok: false}
+				continue
+			}
+			switch p.kind {
+			case prefWith:
+				if v.Truthy() {
+					keys[i] = keyed{ok: true, num: 0}
+				} else {
+					keys[i] = keyed{ok: true, num: 1}
+				}
+			default:
+				n, isNum := v.AsNumber()
+				if !isNum {
+					keys[i] = keyed{ok: false}
+					continue
+				}
+				if p.kind == prefMax {
+					n = -n
+				}
+				keys[i] = keyed{ok: true, num: n}
+			}
+		}
+		// Index sort keeps the keys array aligned with results.
+		idx := make([]int, len(results))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := keys[idx[a]], keys[idx[b]]
+			if ka.ok != kb.ok {
+				return ka.ok // evaluable offers first
+			}
+			if !ka.ok {
+				return false
+			}
+			return ka.num < kb.num
+		})
+		out := make([]QueryResult, len(results))
+		for i, j := range idx {
+			out[i] = results[j]
+		}
+		copy(results, out)
+		return nil
+	default:
+		return fmt.Errorf("trading: unknown preference kind %d", p.kind)
+	}
+}
+
+func offerHash(id string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return h.Sum32()
+}

@@ -1,0 +1,361 @@
+package trading
+
+import (
+	"context"
+	"fmt"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/wire"
+)
+
+// InterfaceIDL is the trader's interface definition in the repository's IDL
+// subset, mirroring the slice of the OMG Trading Object Service [18] that
+// the infrastructure uses.
+const InterfaceIDL = `
+typedef string ServiceTypeName;
+typedef string OfferId;
+typedef string Constraint;
+typedef string Preference;
+
+interface Lookup {
+    any query(in ServiceTypeName type, in Constraint c, in Preference pref, in double maxResults);
+};
+
+interface Register {
+    OfferId export(in ServiceTypeName type, in Object reference, in any properties);
+    void withdraw(in OfferId id);
+    void modify(in OfferId id, in any properties);
+    void addType(in ServiceTypeName name, in string iface, in any props);
+};
+
+interface Trader : Lookup, Register {
+    any listTypes();
+};
+`
+
+// DefaultObjectKey is the well-known key traders register under.
+const DefaultObjectKey = "Trader"
+
+// Servant exposes a Trader over the ORB. Wire representation:
+//
+//	properties:  table{ name = value | table{dynamic=<objref>, aspect=string} }
+//	query reply: list of table{id, type, ref, properties=table{name=value}}
+type Servant struct {
+	trader *Trader
+}
+
+// NewServant wraps t.
+func NewServant(t *Trader) *Servant { return &Servant{trader: t} }
+
+var _ orb.Servant = (*Servant)(nil)
+
+// Invoke implements orb.Servant.
+func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
+	ctx := context.Background()
+	switch op {
+	case "query":
+		if len(args) < 1 {
+			return nil, orb.Appf("query: service type required")
+		}
+		max := 0
+		if len(args) > 3 {
+			max = int(args[3].Num())
+		}
+		constraint, preference := "", ""
+		if len(args) > 1 {
+			constraint = args[1].Str()
+		}
+		if len(args) > 2 {
+			preference = args[2].Str()
+		}
+		results, err := s.trader.Query(ctx, args[0].Str(), constraint, preference, max)
+		if err != nil {
+			return nil, orb.Appf("query: %v", err)
+		}
+		return []wire.Value{resultsToWire(results)}, nil
+	case "export":
+		if len(args) < 2 {
+			return nil, orb.Appf("export: type and reference required")
+		}
+		ref, ok := args[1].AsRef()
+		if !ok {
+			return nil, orb.Appf("export: second argument must be an object reference")
+		}
+		props, err := propsFromWire(argAt(args, 2))
+		if err != nil {
+			return nil, orb.Appf("export: %v", err)
+		}
+		id, err := s.trader.Export(args[0].Str(), ref, props)
+		if err != nil {
+			return nil, orb.Appf("export: %v", err)
+		}
+		return []wire.Value{wire.String(id)}, nil
+	case "withdraw":
+		if len(args) < 1 {
+			return nil, orb.Appf("withdraw: offer id required")
+		}
+		if err := s.trader.Withdraw(args[0].Str()); err != nil {
+			return nil, orb.Appf("withdraw: %v", err)
+		}
+		return nil, nil
+	case "modify":
+		if len(args) < 2 {
+			return nil, orb.Appf("modify: offer id and properties required")
+		}
+		props, err := propsFromWire(args[1])
+		if err != nil {
+			return nil, orb.Appf("modify: %v", err)
+		}
+		if err := s.trader.Modify(args[0].Str(), props); err != nil {
+			return nil, orb.Appf("modify: %v", err)
+		}
+		return nil, nil
+	case "addType":
+		if len(args) < 1 {
+			return nil, orb.Appf("addType: name required")
+		}
+		st := ServiceType{Name: args[0].Str()}
+		if len(args) > 1 {
+			st.Interface = args[1].Str()
+		}
+		if len(args) > 2 {
+			if tb, ok := args[2].AsTable(); ok {
+				for i := 1; i <= tb.Len(); i++ {
+					st.Props = append(st.Props, tb.Index(i).Str())
+				}
+			}
+		}
+		s.trader.AddType(st)
+		return nil, nil
+	case "listTypes":
+		names := s.trader.TypeNames()
+		out := wire.NewTable()
+		for _, n := range names {
+			out.Append(wire.String(n))
+		}
+		return []wire.Value{wire.TableVal(out)}, nil
+	default:
+		return nil, orb.Appf("trader: no such operation %q", op)
+	}
+}
+
+func argAt(args []wire.Value, i int) wire.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return wire.Nil()
+}
+
+// propsFromWire decodes the wire property-table form.
+func propsFromWire(v wire.Value) (map[string]PropValue, error) {
+	if v.IsNil() {
+		return nil, nil
+	}
+	tb, ok := v.AsTable()
+	if !ok {
+		return nil, fmt.Errorf("properties must be a table, got %s", v.Kind())
+	}
+	out := make(map[string]PropValue, tb.Size())
+	var convErr error
+	tb.Pairs(func(k, val wire.Value) bool {
+		name, ok := k.AsString()
+		if !ok {
+			convErr = fmt.Errorf("property names must be strings, got %s", k.Kind())
+			return false
+		}
+		pv, err := propValueFromWire(val)
+		if err != nil {
+			convErr = fmt.Errorf("property %q: %w", name, err)
+			return false
+		}
+		out[name] = pv
+		return true
+	})
+	if convErr != nil {
+		return nil, convErr
+	}
+	return out, nil
+}
+
+func propValueFromWire(v wire.Value) (PropValue, error) {
+	tb, ok := v.AsTable()
+	if !ok {
+		return PropValue{Static: v}, nil
+	}
+	dyn := tb.GetString("dynamic")
+	if dyn.IsNil() {
+		return PropValue{Static: v}, nil
+	}
+	ref, ok := dyn.AsRef()
+	if !ok {
+		return PropValue{}, fmt.Errorf("dynamic field must be an object reference, got %s", dyn.Kind())
+	}
+	return PropValue{Dynamic: ref, Aspect: tb.GetString("aspect").Str()}, nil
+}
+
+// PropsToWire encodes a property map in the wire table form understood by
+// propsFromWire. Exported for agents that export offers remotely.
+func PropsToWire(props map[string]PropValue) wire.Value {
+	tb := wire.NewTable()
+	for name, pv := range props {
+		if pv.IsDynamic() {
+			d := wire.NewTable()
+			d.SetString("dynamic", wire.Ref(pv.Dynamic))
+			if pv.Aspect != "" {
+				d.SetString("aspect", wire.String(pv.Aspect))
+			}
+			tb.SetString(name, wire.TableVal(d))
+		} else {
+			tb.SetString(name, pv.Static)
+		}
+	}
+	return wire.TableVal(tb)
+}
+
+func resultsToWire(results []QueryResult) wire.Value {
+	out := wire.NewTable()
+	for _, r := range results {
+		o := wire.NewTable()
+		o.SetString("id", wire.String(r.Offer.ID))
+		o.SetString("type", wire.String(r.Offer.ServiceType))
+		o.SetString("ref", wire.Ref(r.Offer.Ref))
+		snap := wire.NewTable()
+		for name, v := range r.Snapshot {
+			snap.SetString(name, v)
+		}
+		o.SetString("properties", wire.TableVal(snap))
+		// Dynamic property sources travel with the offer so clients (smart
+		// proxies) can attach observers to the same monitors the trader
+		// consults.
+		dyn := wire.NewTable()
+		for name, pv := range r.Offer.Props {
+			if !pv.IsDynamic() {
+				continue
+			}
+			d := wire.NewTable()
+			d.SetString("ref", wire.Ref(pv.Dynamic))
+			if pv.Aspect != "" {
+				d.SetString("aspect", wire.String(pv.Aspect))
+			}
+			dyn.SetString(name, wire.TableVal(d))
+		}
+		if dyn.Size() > 0 {
+			o.SetString("dynamics", wire.TableVal(dyn))
+		}
+		out.Append(wire.TableVal(o))
+	}
+	return wire.TableVal(out)
+}
+
+// ResultsFromWire decodes a query reply on the client side.
+func ResultsFromWire(v wire.Value) ([]QueryResult, error) {
+	tb, ok := v.AsTable()
+	if !ok {
+		return nil, fmt.Errorf("trading: query reply is %s, want table", v.Kind())
+	}
+	out := make([]QueryResult, 0, tb.Len())
+	for i := 1; i <= tb.Len(); i++ {
+		entry, ok := tb.Index(i).AsTable()
+		if !ok {
+			return nil, fmt.Errorf("trading: query reply entry %d is not a table", i)
+		}
+		ref, ok := entry.GetString("ref").AsRef()
+		if !ok {
+			return nil, fmt.Errorf("trading: query reply entry %d has no ref", i)
+		}
+		qr := QueryResult{
+			Offer: Offer{
+				ID:          entry.GetString("id").Str(),
+				ServiceType: entry.GetString("type").Str(),
+				Ref:         ref,
+			},
+			Snapshot: map[string]wire.Value{},
+		}
+		if snap, ok := entry.GetString("properties").AsTable(); ok {
+			snap.Pairs(func(k, val wire.Value) bool {
+				if name, ok := k.AsString(); ok {
+					qr.Snapshot[name] = val
+				}
+				return true
+			})
+		}
+		if dyn, ok := entry.GetString("dynamics").AsTable(); ok {
+			qr.Offer.Props = map[string]PropValue{}
+			dyn.Pairs(func(k, val wire.Value) bool {
+				name, nameOK := k.AsString()
+				d, tblOK := val.AsTable()
+				if !nameOK || !tblOK {
+					return true
+				}
+				if ref, ok := d.GetString("ref").AsRef(); ok {
+					qr.Offer.Props[name] = PropValue{
+						Dynamic: ref,
+						Aspect:  d.GetString("aspect").Str(),
+					}
+				}
+				return true
+			})
+		}
+		out = append(out, qr)
+	}
+	return out, nil
+}
+
+// Lookup is the client-side convenience wrapper around a remote trader —
+// the LuaTrading analog (§IV: "a Lua library that provides a simplified
+// interface" to the trading service).
+type Lookup struct {
+	proxy *orb.Proxy
+}
+
+// NewLookup binds a lookup client to the trader at ref.
+func NewLookup(client *orb.Client, ref wire.ObjRef) *Lookup {
+	return &Lookup{proxy: client.NewProxy(ref)}
+}
+
+// Ref returns the trader's object reference.
+func (l *Lookup) Ref() wire.ObjRef { return l.proxy.Ref() }
+
+// Query performs a remote query.
+func (l *Lookup) Query(ctx context.Context, serviceType, constraint, preference string, maxResults int) ([]QueryResult, error) {
+	v, err := l.proxy.Call1(ctx, "query",
+		wire.String(serviceType), wire.String(constraint),
+		wire.String(preference), wire.Int(maxResults))
+	if err != nil {
+		return nil, err
+	}
+	return ResultsFromWire(v)
+}
+
+// Export exports an offer remotely and returns the offer id.
+func (l *Lookup) Export(ctx context.Context, serviceType string, ref wire.ObjRef, props map[string]PropValue) (string, error) {
+	v, err := l.proxy.Call1(ctx, "export",
+		wire.String(serviceType), wire.Ref(ref), PropsToWire(props))
+	if err != nil {
+		return "", err
+	}
+	return v.Str(), nil
+}
+
+// Withdraw removes an offer remotely.
+func (l *Lookup) Withdraw(ctx context.Context, offerID string) error {
+	_, err := l.proxy.Call(ctx, "withdraw", wire.String(offerID))
+	return err
+}
+
+// Modify replaces an offer's properties remotely.
+func (l *Lookup) Modify(ctx context.Context, offerID string, props map[string]PropValue) error {
+	_, err := l.proxy.Call(ctx, "modify", wire.String(offerID), PropsToWire(props))
+	return err
+}
+
+// AddType registers a service type remotely.
+func (l *Lookup) AddType(ctx context.Context, st ServiceType) error {
+	props := wire.NewTable()
+	for _, p := range st.Props {
+		props.Append(wire.String(p))
+	}
+	_, err := l.proxy.Call(ctx, "addType",
+		wire.String(st.Name), wire.String(st.Interface), wire.TableVal(props))
+	return err
+}

@@ -1,0 +1,291 @@
+package trading
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/wire"
+)
+
+// Errors reported by the trader.
+var (
+	// ErrUnknownServiceType is returned when exporting or querying a type
+	// that was never registered.
+	ErrUnknownServiceType = errors.New("trading: unknown service type")
+	// ErrUnknownOffer is returned by Withdraw/Modify for missing offers.
+	ErrUnknownOffer = errors.New("trading: unknown offer")
+)
+
+// PropValue is one offer property: either a static value, or a *dynamic
+// property* — a reference to an object that yields the current value when
+// the trader asks for it at query time (paper §IV: "Instead of storing a
+// constant value, a dynamic property stores a reference to an object that,
+// when required, provides the trader with the current value").
+type PropValue struct {
+	// Static holds the value for a static property.
+	Static wire.Value
+	// Dynamic, when non-zero, names the object to interrogate at query
+	// time. The object must implement getValue() (BasicMonitor), or
+	// getAspectValue(name) when Aspect is set.
+	Dynamic wire.ObjRef
+	// Aspect selects an aspect of the dynamic property instead of its
+	// value (e.g. "Increasing" on a LoadAvg monitor).
+	Aspect string
+}
+
+// IsDynamic reports whether the property is resolved at query time.
+func (p PropValue) IsDynamic() bool { return !p.Dynamic.IsZero() }
+
+// Offer is one exported service offer.
+type Offer struct {
+	ID          string
+	ServiceType string
+	Ref         wire.ObjRef
+	Props       map[string]PropValue
+}
+
+// MonitorFor returns the object serving prop as a dynamic property, if any
+// — the monitor a smart proxy attaches its observers to.
+func (o Offer) MonitorFor(prop string) (wire.ObjRef, bool) {
+	pv, ok := o.Props[prop]
+	if !ok || !pv.IsDynamic() {
+		return wire.ObjRef{}, false
+	}
+	return pv.Dynamic, true
+}
+
+// ServiceType describes an exportable service: the interface its instances
+// implement, plus the property names offers of this type may carry. The
+// paper's trader types properties; ours records names for documentation and
+// validates that exported offers do not invent undeclared properties when
+// Strict is set.
+type ServiceType struct {
+	Name      string
+	Interface string
+	Props     []string
+	Strict    bool
+}
+
+// QueryResult is one matched offer together with the property snapshot the
+// trader evaluated (dynamic properties resolved), so clients can log or
+// re-rank without re-fetching.
+type QueryResult struct {
+	Offer    Offer
+	Snapshot map[string]wire.Value
+}
+
+// Trader is the trading service: a thread-safe repository of service types
+// and offers plus the query engine. Expose it over the ORB with NewServant.
+type Trader struct {
+	// Resolver fetches dynamic property values. In production this is an
+	// *orb.Client; tests may stub it.
+	resolver DynamicResolver
+
+	mu     sync.RWMutex
+	types  map[string]ServiceType
+	offers map[string]*Offer
+	nextID int
+}
+
+// DynamicResolver fetches the current value of a dynamic property.
+type DynamicResolver interface {
+	ResolveDynamic(ctx context.Context, ref wire.ObjRef, aspect string) (wire.Value, error)
+}
+
+// ClientResolver adapts an orb.Client to DynamicResolver.
+type ClientResolver struct{ Client *orb.Client }
+
+// ResolveDynamic implements DynamicResolver: getValue() or
+// getAspectValue(aspect) on the referenced object.
+func (r ClientResolver) ResolveDynamic(ctx context.Context, ref wire.ObjRef, aspect string) (wire.Value, error) {
+	op := "getValue"
+	var args []wire.Value
+	if aspect != "" {
+		op = "getAspectValue"
+		args = []wire.Value{wire.String(aspect)}
+	}
+	rs, err := r.Client.Invoke(ctx, ref, op, args...)
+	if err != nil {
+		return wire.Nil(), err
+	}
+	if len(rs) == 0 {
+		return wire.Nil(), nil
+	}
+	return rs[0], nil
+}
+
+// NewTrader returns an empty trader using resolver for dynamic properties.
+// A nil resolver makes every dynamic property evaluate as missing.
+func NewTrader(resolver DynamicResolver) *Trader {
+	return &Trader{
+		resolver: resolver,
+		types:    make(map[string]ServiceType),
+		offers:   make(map[string]*Offer),
+	}
+}
+
+// AddType registers a service type. Re-adding a name replaces it.
+func (t *Trader) AddType(st ServiceType) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.types[st.Name] = st
+}
+
+// TypeNames lists registered service types, sorted.
+func (t *Trader) TypeNames() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.types))
+	for n := range t.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Export registers an offer and returns its offer ID.
+func (t *Trader) Export(serviceType string, ref wire.ObjRef, props map[string]PropValue) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.types[serviceType]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownServiceType, serviceType)
+	}
+	if st.Strict {
+		declared := make(map[string]bool, len(st.Props))
+		for _, p := range st.Props {
+			declared[p] = true
+		}
+		for name := range props {
+			if !declared[name] {
+				return "", fmt.Errorf("trading: offer property %q not declared by type %q", name, serviceType)
+			}
+		}
+	}
+	t.nextID++
+	id := "offer-" + strconv.Itoa(t.nextID)
+	copied := make(map[string]PropValue, len(props))
+	for k, v := range props {
+		copied[k] = v
+	}
+	t.offers[id] = &Offer{ID: id, ServiceType: serviceType, Ref: ref, Props: copied}
+	return id, nil
+}
+
+// Withdraw removes an offer.
+func (t *Trader) Withdraw(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.offers[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownOffer, id)
+	}
+	delete(t.offers, id)
+	return nil
+}
+
+// Modify replaces the properties of an existing offer.
+func (t *Trader) Modify(id string, props map[string]PropValue) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.offers[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownOffer, id)
+	}
+	copied := make(map[string]PropValue, len(props))
+	for k, v := range props {
+		copied[k] = v
+	}
+	o.Props = copied
+	return nil
+}
+
+// OfferCount reports the number of live offers (for diagnostics/tests).
+func (t *Trader) OfferCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.offers)
+}
+
+// Query finds offers of serviceType matching constraint, ordered by
+// preference. maxResults <= 0 means unlimited. Offers whose constraint
+// evaluation fails (missing property, unreachable dynamic property) are
+// skipped, per OMG trader semantics.
+func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference string, maxResults int) ([]QueryResult, error) {
+	cons, err := ParseConstraint(constraint)
+	if err != nil {
+		return nil, err
+	}
+	pref, err := ParsePreference(preference)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	if _, ok := t.types[serviceType]; !ok {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownServiceType, serviceType)
+	}
+	candidates := make([]*Offer, 0, len(t.offers))
+	for _, o := range t.offers {
+		if o.ServiceType == serviceType {
+			candidates = append(candidates, o)
+		}
+	}
+	t.mu.RUnlock()
+	// Deterministic base order (offer export order) before preferences.
+	sort.Slice(candidates, func(i, j int) bool {
+		return offerSeq(candidates[i].ID) < offerSeq(candidates[j].ID)
+	})
+
+	matched := make([]QueryResult, 0, len(candidates))
+	for _, o := range candidates {
+		snap := t.snapshot(ctx, o)
+		lookup := func(name string) (wire.Value, bool) {
+			v, ok := snap[name]
+			return v, ok
+		}
+		ok, err := cons.Eval(lookup)
+		if err != nil || !ok {
+			continue
+		}
+		matched = append(matched, QueryResult{Offer: *o, Snapshot: snap})
+	}
+	if err := pref.Sort(matched); err != nil {
+		return nil, err
+	}
+	if maxResults > 0 && len(matched) > maxResults {
+		matched = matched[:maxResults]
+	}
+	return matched, nil
+}
+
+func offerSeq(id string) int {
+	n, _ := strconv.Atoi(id[len("offer-"):])
+	return n
+}
+
+// snapshot resolves every property of an offer to a concrete value.
+// Unreachable dynamic properties are simply absent from the snapshot, so
+// constraints referencing them fail for this offer only.
+func (t *Trader) snapshot(ctx context.Context, o *Offer) map[string]wire.Value {
+	snap := make(map[string]wire.Value, len(o.Props))
+	for name, pv := range o.Props {
+		if !pv.IsDynamic() {
+			snap[name] = pv.Static
+			continue
+		}
+		if t.resolver == nil {
+			continue
+		}
+		v, err := t.resolver.ResolveDynamic(ctx, pv.Dynamic, pv.Aspect)
+		if err != nil {
+			continue
+		}
+		snap[name] = v
+	}
+	return snap
+}

@@ -1,0 +1,447 @@
+package trading
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/wire"
+)
+
+// stubResolver serves dynamic property values from a map keyed by
+// "endpoint/key#aspect".
+type stubResolver struct {
+	values map[string]wire.Value
+	calls  int
+}
+
+func (s *stubResolver) ResolveDynamic(_ context.Context, ref wire.ObjRef, aspect string) (wire.Value, error) {
+	s.calls++
+	v, ok := s.values[ref.String()+"#"+aspect]
+	if !ok {
+		return wire.Nil(), errors.New("unreachable monitor")
+	}
+	return v, nil
+}
+
+func serverRef(i int) wire.ObjRef {
+	return wire.ObjRef{Endpoint: fmt.Sprintf("inproc|host-%d", i), Key: "server"}
+}
+
+func monitorRef(i int) wire.ObjRef {
+	return wire.ObjRef{Endpoint: fmt.Sprintf("inproc|host-%d", i), Key: "monitor"}
+}
+
+// newLoadedTrader builds a trader with the paper's load-sharing offer
+// layout: N servers, each with a dynamic LoadAvg property and a dynamic
+// LoadAvgIncreasing aspect property.
+func newLoadedTrader(loads []float64, increasing []bool) (*Trader, *stubResolver) {
+	res := &stubResolver{values: map[string]wire.Value{}}
+	tr := NewTrader(res)
+	tr.AddType(ServiceType{Name: "LoadShared", Interface: "Service",
+		Props: []string{"LoadAvg", "LoadAvgIncreasing"}})
+	for i := range loads {
+		res.values[monitorRef(i).String()+"#"] = wire.Number(loads[i])
+		word := "no"
+		if increasing[i] {
+			word = "yes"
+		}
+		res.values[monitorRef(i).String()+"#Increasing"] = wire.String(word)
+		_, err := tr.Export("LoadShared", serverRef(i), map[string]PropValue{
+			"LoadAvg":           {Dynamic: monitorRef(i)},
+			"LoadAvgIncreasing": {Dynamic: monitorRef(i), Aspect: "Increasing"},
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return tr, res
+}
+
+func TestExportRequiresKnownType(t *testing.T) {
+	tr := NewTrader(nil)
+	_, err := tr.Export("Nope", serverRef(0), nil)
+	if !errors.Is(err, ErrUnknownServiceType) {
+		t.Fatalf("err = %v, want ErrUnknownServiceType", err)
+	}
+}
+
+func TestStrictTypeRejectsUndeclaredProps(t *testing.T) {
+	tr := NewTrader(nil)
+	tr.AddType(ServiceType{Name: "S", Props: []string{"a"}, Strict: true})
+	_, err := tr.Export("S", serverRef(0), map[string]PropValue{"b": {Static: wire.Int(1)}})
+	if err == nil {
+		t.Fatal("undeclared property accepted by strict type")
+	}
+	if _, err := tr.Export("S", serverRef(0), map[string]PropValue{"a": {Static: wire.Int(1)}}); err != nil {
+		t.Fatalf("declared property rejected: %v", err)
+	}
+}
+
+func TestWithdrawAndModify(t *testing.T) {
+	tr := NewTrader(nil)
+	tr.AddType(ServiceType{Name: "S"})
+	id, err := tr.Export("S", serverRef(0), map[string]PropValue{"x": {Static: wire.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OfferCount() != 1 {
+		t.Fatalf("OfferCount = %d", tr.OfferCount())
+	}
+	if err := tr.Modify(id, map[string]PropValue{"x": {Static: wire.Int(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tr.Query(context.Background(), "S", "x == 9", "", 0)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("query after modify = %v, %v", rs, err)
+	}
+	if err := tr.Withdraw(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Withdraw(id); !errors.Is(err, ErrUnknownOffer) {
+		t.Fatalf("double withdraw err = %v", err)
+	}
+	if err := tr.Modify(id, nil); !errors.Is(err, ErrUnknownOffer) {
+		t.Fatalf("modify after withdraw err = %v", err)
+	}
+	if tr.OfferCount() != 0 {
+		t.Fatalf("OfferCount after withdraw = %d", tr.OfferCount())
+	}
+}
+
+func TestQueryPaperScenario(t *testing.T) {
+	// Three servers: idle+steady, loaded+rising, mid+steady.
+	tr, _ := newLoadedTrader([]float64{20, 80, 45}, []bool{false, true, false})
+	rs, err := tr.Query(context.Background(), "LoadShared",
+		"LoadAvg < 50 and LoadAvgIncreasing == no", "min LoadAvg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("matched %d offers, want 2", len(rs))
+	}
+	if rs[0].Offer.Ref != serverRef(0) {
+		t.Fatalf("best offer = %v, want host-0", rs[0].Offer.Ref)
+	}
+	if rs[0].Snapshot["LoadAvg"].Num() != 20 {
+		t.Fatalf("snapshot LoadAvg = %v", rs[0].Snapshot["LoadAvg"])
+	}
+}
+
+func TestQueryFallbackSortOnly(t *testing.T) {
+	// Paper §V: "If no offer suits the imposed restriction, the smart proxy
+	// issues an alternative query, where it specifies only offer sorting,
+	// and no filtering."
+	tr, _ := newLoadedTrader([]float64{90, 80, 95}, []bool{true, true, true})
+	rs, err := tr.Query(context.Background(), "LoadShared",
+		"LoadAvg < 50 and LoadAvgIncreasing == no", "min LoadAvg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("constrained query matched %d, want 0", len(rs))
+	}
+	rs, err = tr.Query(context.Background(), "LoadShared", "", "min LoadAvg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[0].Offer.Ref != serverRef(1) {
+		t.Fatalf("fallback query = %v", rs)
+	}
+}
+
+func TestQueryMaxResults(t *testing.T) {
+	tr, _ := newLoadedTrader([]float64{10, 20, 30, 40}, []bool{false, false, false, false})
+	rs, err := tr.Query(context.Background(), "LoadShared", "", "min LoadAvg", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Offer.Ref != serverRef(0) || rs[1].Offer.Ref != serverRef(1) {
+		t.Fatalf("limited query = %+v", rs)
+	}
+}
+
+func TestQueryUnknownType(t *testing.T) {
+	tr := NewTrader(nil)
+	if _, err := tr.Query(context.Background(), "Nope", "", "", 0); !errors.Is(err, ErrUnknownServiceType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueryBadConstraintOrPreference(t *testing.T) {
+	tr := NewTrader(nil)
+	tr.AddType(ServiceType{Name: "S"})
+	if _, err := tr.Query(context.Background(), "S", "x ==", "", 0); err == nil {
+		t.Fatal("bad constraint accepted")
+	}
+	if _, err := tr.Query(context.Background(), "S", "", "upside-down", 0); err == nil {
+		t.Fatal("bad preference accepted")
+	}
+}
+
+func TestUnreachableDynamicPropertySkipsOffer(t *testing.T) {
+	tr, res := newLoadedTrader([]float64{10, 20}, []bool{false, false})
+	// Make host-0's monitor unreachable.
+	delete(res.values, monitorRef(0).String()+"#")
+	rs, err := tr.Query(context.Background(), "LoadShared", "LoadAvg < 100", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Offer.Ref != serverRef(1) {
+		t.Fatalf("query with dead monitor = %+v", rs)
+	}
+	// But a sort-only query still returns it (missing key sorts last).
+	rs, err = tr.Query(context.Background(), "LoadShared", "", "min LoadAvg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[1].Offer.Ref != serverRef(0) {
+		t.Fatalf("sort-only with dead monitor = %+v", rs)
+	}
+}
+
+func TestNilResolverTreatsDynamicAsMissing(t *testing.T) {
+	tr := NewTrader(nil)
+	tr.AddType(ServiceType{Name: "S"})
+	_, err := tr.Export("S", serverRef(0), map[string]PropValue{
+		"LoadAvg": {Dynamic: monitorRef(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tr.Query(context.Background(), "S", "exist LoadAvg", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatal("dynamic property resolved without a resolver")
+	}
+}
+
+func TestPreferenceForms(t *testing.T) {
+	tr, _ := newLoadedTrader([]float64{30, 10, 20}, []bool{false, true, false})
+	ctx := context.Background()
+
+	rs, _ := tr.Query(ctx, "LoadShared", "", "min LoadAvg", 0)
+	if rs[0].Snapshot["LoadAvg"].Num() != 10 {
+		t.Fatalf("min order wrong: %v", rs[0].Snapshot["LoadAvg"])
+	}
+	rs, _ = tr.Query(ctx, "LoadShared", "", "max LoadAvg", 0)
+	if rs[0].Snapshot["LoadAvg"].Num() != 30 {
+		t.Fatalf("max order wrong: %v", rs[0].Snapshot["LoadAvg"])
+	}
+	rs, _ = tr.Query(ctx, "LoadShared", "", "first", 0)
+	if rs[0].Offer.Ref != serverRef(0) {
+		t.Fatalf("first order wrong: %v", rs[0].Offer.Ref)
+	}
+	rs, _ = tr.Query(ctx, "LoadShared", "", "with LoadAvgIncreasing == no", 0)
+	if rs[2].Snapshot["LoadAvgIncreasing"].Str() != "yes" {
+		t.Fatalf("with order wrong: rising server should sort last")
+	}
+	// random is deterministic for a fixed offer set.
+	r1, _ := tr.Query(ctx, "LoadShared", "", "random", 0)
+	r2, _ := tr.Query(ctx, "LoadShared", "", "random", 0)
+	for i := range r1 {
+		if r1[i].Offer.ID != r2[i].Offer.ID {
+			t.Fatal("random preference is not deterministic across queries")
+		}
+	}
+}
+
+func TestPreferenceParseErrors(t *testing.T) {
+	for _, src := range []string{"minLoadAvg", "min", "max ", "with", "sideways x"} {
+		if _, err := ParsePreference(src); err == nil {
+			t.Errorf("ParsePreference(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPreferenceMinUnevaluableSortsLast(t *testing.T) {
+	tr := NewTrader(nil)
+	tr.AddType(ServiceType{Name: "S"})
+	if _, err := tr.Export("S", serverRef(0), map[string]PropValue{"rank": {Static: wire.String("oops")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Export("S", serverRef(1), map[string]PropValue{"rank": {Static: wire.Number(5)}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tr.Query(context.Background(), "S", "", "min rank", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Offer.Ref != serverRef(1) {
+		t.Fatalf("unevaluable preference should sort last: %+v", rs)
+	}
+}
+
+// TestTraderOverORB runs the full remote path: trader servant on an inproc
+// server, exports and queries through the Lookup wrapper, with dynamic
+// properties resolved through real ORB callbacks to a monitor-like servant.
+func TestTraderOverORB(t *testing.T) {
+	n := orb.NewInprocNetwork()
+	resolverClient := orb.NewClient(n)
+	defer resolverClient.Close()
+
+	tr := NewTrader(ClientResolver{Client: resolverClient})
+	tr.AddType(ServiceType{Name: "LoadShared", Interface: "Service"})
+
+	traderSrv, err := orb.NewServer(orb.ServerOptions{Network: n, Address: "trader-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traderSrv.Close()
+	traderRef := traderSrv.Register(DefaultObjectKey, "", NewServant(tr))
+
+	// A host server exposing a fake load monitor and a service object.
+	hostSrv, err := orb.NewServer(orb.ServerOptions{Network: n, Address: "host-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hostSrv.Close()
+	load := 17.0
+	monRef := hostSrv.Register("monitor", "", orb.ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		switch op {
+		case "getValue":
+			return []wire.Value{wire.Number(load)}, nil
+		case "getAspectValue":
+			return []wire.Value{wire.String("no")}, nil
+		default:
+			return nil, orb.Appf("bad op %q", op)
+		}
+	}))
+	svcRef := hostSrv.Register("service", "", orb.ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return []wire.Value{wire.String("served")}, nil
+	}))
+
+	client := orb.NewClient(n)
+	defer client.Close()
+	lookup := NewLookup(client, traderRef)
+	ctx := context.Background()
+
+	id, err := lookup.Export(ctx, "LoadShared", svcRef, map[string]PropValue{
+		"LoadAvg":           {Dynamic: monRef},
+		"LoadAvgIncreasing": {Dynamic: monRef, Aspect: "Increasing"},
+		"Host":              {Static: wire.String("host-a")},
+	})
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if id == "" {
+		t.Fatal("empty offer id")
+	}
+
+	rs, err := lookup.Query(ctx, "LoadShared", "LoadAvg < 50 and LoadAvgIncreasing == no", "min LoadAvg", 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("matched %d offers, want 1", len(rs))
+	}
+	if rs[0].Offer.Ref != svcRef {
+		t.Fatalf("offer ref = %v, want %v", rs[0].Offer.Ref, svcRef)
+	}
+	if rs[0].Snapshot["LoadAvg"].Num() != 17 {
+		t.Fatalf("snapshot = %v", rs[0].Snapshot)
+	}
+	if rs[0].Snapshot["Host"].Str() != "host-a" {
+		t.Fatalf("static prop missing from snapshot: %v", rs[0].Snapshot)
+	}
+
+	// Load spikes; the same query now excludes the offer.
+	load = 90
+	rs, err = lookup.Query(ctx, "LoadShared", "LoadAvg < 50", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatal("offer still matches after load spike — dynamic property not re-read")
+	}
+
+	// Remote modify and withdraw.
+	if err := lookup.Modify(ctx, id, map[string]PropValue{"Host": {Static: wire.String("b")}}); err != nil {
+		t.Fatalf("Modify: %v", err)
+	}
+	if err := lookup.Withdraw(ctx, id); err != nil {
+		t.Fatalf("Withdraw: %v", err)
+	}
+	if err := lookup.Withdraw(ctx, id); err == nil {
+		t.Fatal("double withdraw succeeded remotely")
+	}
+
+	// AddType + listTypes round trip.
+	if err := lookup.AddType(ctx, ServiceType{Name: "Another", Interface: "X", Props: []string{"p"}}); err != nil {
+		t.Fatalf("AddType: %v", err)
+	}
+	names := tr.TypeNames()
+	if len(names) != 2 || names[0] != "Another" {
+		t.Fatalf("TypeNames = %v", names)
+	}
+}
+
+func TestServantBadArguments(t *testing.T) {
+	tr := NewTrader(nil)
+	tr.AddType(ServiceType{Name: "S"})
+	sv := NewServant(tr)
+	cases := []struct {
+		op   string
+		args []wire.Value
+	}{
+		{"query", nil},
+		{"export", nil},
+		{"export", []wire.Value{wire.String("S"), wire.String("not-a-ref")}},
+		{"withdraw", nil},
+		{"modify", []wire.Value{wire.String("x")}},
+		{"addType", nil},
+		{"nosuch", nil},
+		{"export", []wire.Value{wire.String("S"), wire.Ref(serverRef(0)), wire.String("not-a-table")}},
+	}
+	for _, c := range cases {
+		if _, err := sv.Invoke(c.op, c.args); err == nil {
+			t.Errorf("Invoke(%s) with bad args succeeded", c.op)
+		}
+	}
+}
+
+func TestPropsWireRoundTrip(t *testing.T) {
+	in := map[string]PropValue{
+		"static":  {Static: wire.Number(4)},
+		"dynamic": {Dynamic: monitorRef(3)},
+		"aspect":  {Dynamic: monitorRef(3), Aspect: "Increasing"},
+	}
+	out, err := propsFromWire(PropsToWire(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("round trip size = %d", len(out))
+	}
+	if !out["static"].Static.Equal(wire.Number(4)) {
+		t.Fatal("static prop lost")
+	}
+	if out["dynamic"].Dynamic != monitorRef(3) || out["dynamic"].Aspect != "" {
+		t.Fatalf("dynamic prop = %+v", out["dynamic"])
+	}
+	if out["aspect"].Aspect != "Increasing" {
+		t.Fatalf("aspect prop = %+v", out["aspect"])
+	}
+}
+
+func TestResultsFromWireErrors(t *testing.T) {
+	if _, err := ResultsFromWire(wire.String("x")); err == nil {
+		t.Fatal("non-table reply accepted")
+	}
+	bad := wire.NewTable()
+	bad.Append(wire.String("not-a-table"))
+	if _, err := ResultsFromWire(wire.TableVal(bad)); err == nil {
+		t.Fatal("malformed entry accepted")
+	}
+	noRef := wire.NewTable()
+	entry := wire.NewTable()
+	entry.SetString("id", wire.String("offer-1"))
+	noRef.Append(wire.TableVal(entry))
+	if _, err := ResultsFromWire(wire.TableVal(noRef)); err == nil {
+		t.Fatal("entry without ref accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// MsgType distinguishes ORB protocol messages within a frame.
+type MsgType uint8
+
+// Message types. Oneway requests elicit no reply (the paper's
+// EventObserver.notifyEvent is declared oneway, Fig. 2).
+const (
+	MsgRequest MsgType = iota + 1
+	MsgReply
+	MsgOneway
+	MsgErrorReply
+)
+
+// String names the message type.
+func (m MsgType) String() string {
+	switch m {
+	case MsgRequest:
+		return "request"
+	case MsgReply:
+		return "reply"
+	case MsgOneway:
+		return "oneway"
+	case MsgErrorReply:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(m))
+	}
+}
+
+// Request is an invocation of an operation on a remote object. Args are
+// dynamically typed, which is what makes the client side stub-free (the
+// paper's DII analog).
+type Request struct {
+	ID        uint64  // correlates replies; 0 for oneway
+	ObjectKey string  // target object within the server's adapter
+	Operation string  // operation name
+	Args      []Value // positional arguments
+}
+
+// Reply carries the results of a request, or an error.
+type Reply struct {
+	ID      uint64
+	Results []Value
+	Err     string // non-empty on MsgErrorReply
+	ErrCode string // machine-matchable error code (see orb package)
+}
+
+// EncodeRequest encodes a request (or oneway, if oneway is true) into a
+// frame payload.
+func EncodeRequest(req *Request, oneway bool) ([]byte, error) {
+	mt := MsgRequest
+	if oneway {
+		mt = MsgOneway
+	}
+	buf := []byte{byte(mt)}
+	buf = appendUint64(buf, req.ID)
+	buf = appendString(buf, req.ObjectKey)
+	buf = appendString(buf, req.Operation)
+	buf = appendString(buf, "") // reserved (e.g. auth context)
+	buf = appendUint64(buf, uint64(len(req.Args)))
+	var err error
+	for _, a := range req.Args {
+		if buf, err = AppendValue(buf, a); err != nil {
+			return nil, fmt.Errorf("wire: encode request arg: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// EncodeReply encodes a reply frame payload.
+func EncodeReply(rep *Reply) ([]byte, error) {
+	mt := MsgReply
+	if rep.Err != "" {
+		mt = MsgErrorReply
+	}
+	buf := []byte{byte(mt)}
+	buf = appendUint64(buf, rep.ID)
+	if rep.Err != "" {
+		buf = appendString(buf, rep.ErrCode)
+		buf = appendString(buf, rep.Err)
+		return buf, nil
+	}
+	buf = appendUint64(buf, uint64(len(rep.Results)))
+	var err error
+	for _, r := range rep.Results {
+		if buf, err = AppendValue(buf, r); err != nil {
+			return nil, fmt.Errorf("wire: encode reply result: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// Message is a decoded protocol message: exactly one of Req or Rep is set.
+type Message struct {
+	Type MsgType
+	Req  *Request
+	Rep  *Reply
+}
+
+// DecodeMessage decodes a frame payload into a protocol message.
+func DecodeMessage(payload []byte) (*Message, error) {
+	if len(payload) == 0 {
+		return nil, ErrTruncated
+	}
+	mt := MsgType(payload[0])
+	d := NewDecoder(payload[1:])
+	switch mt {
+	case MsgRequest, MsgOneway:
+		req := &Request{}
+		var err error
+		if req.ID, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if req.ObjectKey, err = d.str(); err != nil {
+			return nil, err
+		}
+		if req.Operation, err = d.str(); err != nil {
+			return nil, err
+		}
+		if _, err = d.str(); err != nil { // reserved
+			return nil, err
+		}
+		n, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.Remaining()) {
+			return nil, ErrTruncated
+		}
+		req.Args = make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.Value()
+			if err != nil {
+				return nil, fmt.Errorf("wire: decode arg %d: %w", i, err)
+			}
+			req.Args = append(req.Args, v)
+		}
+		if d.Remaining() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes in request", d.Remaining())
+		}
+		return &Message{Type: mt, Req: req}, nil
+	case MsgReply, MsgErrorReply:
+		rep := &Reply{}
+		var err error
+		if rep.ID, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if mt == MsgErrorReply {
+			if rep.ErrCode, err = d.str(); err != nil {
+				return nil, err
+			}
+			if rep.Err, err = d.str(); err != nil {
+				return nil, err
+			}
+			if rep.Err == "" {
+				rep.Err = "unknown remote error"
+			}
+			return &Message{Type: mt, Rep: rep}, nil
+		}
+		n, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.Remaining()) {
+			return nil, ErrTruncated
+		}
+		rep.Results = make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.Value()
+			if err != nil {
+				return nil, fmt.Errorf("wire: decode result %d: %w", i, err)
+			}
+			rep.Results = append(rep.Results, v)
+		}
+		if d.Remaining() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes in reply", d.Remaining())
+		}
+		return &Message{Type: mt, Rep: rep}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type 0x%02x", payload[0])
+	}
+}
+
+func appendUint64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func (d *Decoder) u64() (uint64, error) {
+	if d.Remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	b := d.buf[d.pos : d.pos+8]
+	d.pos += 8
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7]), nil
+}
