@@ -417,3 +417,34 @@ func BenchmarkE8ReuseAcrossServices(b *testing.B) {
 		}
 	}
 }
+
+// ---- E9 ----
+
+// BenchmarkE9FaultedInvoke measures the steady-state overhead of the
+// fault-tolerance layer (retry policy armed, invocation deadline set,
+// fault-injecting network wrapper in the dial path) when no faults occur.
+// Compare against BenchmarkE4InprocORBCall, the same call with the layer
+// disabled.
+func BenchmarkE9FaultedInvoke(b *testing.B) {
+	n := orb.NewInprocNetwork()
+	fnet := orb.NewFaultNetwork(n)
+	srv, err := orb.NewServer(orb.ServerOptions{Network: n, Address: "b9-faulted"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServantBench())
+	client := orb.NewClientOpts(orb.ClientOptions{
+		Networks:      []orb.Network{fnet},
+		Retry:         orb.DefaultRetryPolicy(),
+		InvokeTimeout: 5 * time.Second,
+	})
+	defer client.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Invoke(ctx, ref, "echo", wire.Int(42)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

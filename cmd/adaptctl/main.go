@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"autoadapt/internal/orb"
 	"autoadapt/internal/trading"
@@ -37,13 +38,24 @@ func main() {
 
 func run() error {
 	traderRef := flag.String("trader", "tcp|127.0.0.1:9050/Trader", "trader object reference")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-invocation deadline (0 disables)")
+	retries := flag.Int("retries", 3, "max invocation attempts on connection faults")
+	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		return fmt.Errorf("usage: adaptctl [flags] types|query|invoke|monitor|aspect|define ...")
 	}
 
-	client := orb.NewClient(orb.TCPNetwork{})
+	client := orb.NewClientOpts(orb.ClientOptions{
+		Networks: []orb.Network{orb.TCPNetwork{}},
+		Retry: orb.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *backoff,
+			Jitter:      0.2,
+		},
+		InvokeTimeout: *timeout,
+	})
 	defer client.Close()
 	ctx := context.Background()
 

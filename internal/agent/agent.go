@@ -62,8 +62,16 @@ type Options struct {
 	// Logger receives diagnostics. Nil discards.
 	Logger *log.Logger
 	// NotifyClient delivers monitor notifications; if nil, a client on
-	// Network is created and owned by the agent.
+	// Network is created and owned by the agent, configured with Retry
+	// and InvokeTimeout below.
 	NotifyClient *orb.Client
+	// Retry governs the owned client's transport-fault retries, so a
+	// briefly unreachable trader or observer doesn't lose notifications.
+	// Ignored when NotifyClient is supplied.
+	Retry orb.RetryPolicy
+	// InvokeTimeout bounds each of the owned client's invocations
+	// (0 = unbounded). Ignored when NotifyClient is supplied.
+	InvokeTimeout time.Duration
 }
 
 // Agent is a running service agent.
@@ -117,7 +125,11 @@ func Start(ctx context.Context, opts Options) (*Agent, error) {
 
 	notify := opts.NotifyClient
 	if notify == nil {
-		a.ownedClient = orb.NewClient(opts.Network)
+		a.ownedClient = orb.NewClientOpts(orb.ClientOptions{
+			Networks:      []orb.Network{opts.Network},
+			Retry:         opts.Retry,
+			InvokeTimeout: opts.InvokeTimeout,
+		})
 		notify = a.ownedClient
 	}
 

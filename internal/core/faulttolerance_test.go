@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// TestSmartProxySurvivesDroppedConnection is the PR's acceptance scenario:
+// with the fault-injecting network dropping the first connection, a
+// smart-proxy invocation still succeeds via the client's retry/backoff
+// within its deadline.
+func TestSmartProxySurvivesDroppedConnection(t *testing.T) {
+	inner := orb.NewInprocNetwork()
+	fnet := orb.NewFaultNetwork(inner)
+
+	srv, err := orb.NewServer(orb.ServerOptions{Network: inner, Address: "ft-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("service", "", orb.ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return []wire.Value{wire.String("ok")}, nil
+	}))
+
+	client := orb.NewClientOpts(orb.ClientOptions{
+		Networks: []orb.Network{fnet},
+		Retry:    orb.RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, Jitter: 0.2},
+	})
+	defer client.Close()
+
+	sp, err := New(Options{Client: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if err := sp.BindTo(context.Background(), trading.QueryResult{
+		Offer: trading.Offer{ID: "offer-ft", Ref: ref},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fnet.FailNextDials(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rs, err := sp.Invoke(ctx, "hello")
+	if err != nil {
+		t.Fatalf("smart-proxy invoke across dropped connection: %v", err)
+	}
+	if rs[0].Str() != "ok" {
+		t.Fatalf("result = %v", rs[0])
+	}
+	if n := fnet.Dials(); n != 2 {
+		t.Fatalf("dials = %d, want 2 (drop + retry)", n)
+	}
+}
+
+// TestFailoverBacksOffAcrossReselects exercises the policy-driven failover
+// loop: the bound server is dead, re-selection keeps returning it for a
+// while, and the proxy must keep trying (with backoff) until a healthy
+// offer appears, instead of giving up after one shot.
+func TestFailoverBacksOffAcrossReselects(t *testing.T) {
+	w := newWorld(t, 2)
+	w.setLoad(0, 10, 15, 15)
+	w.setLoad(1, 20, 25, 25)
+	sp := w.newProxy(Options{
+		Failover: true,
+		Retry:    orb.RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+	})
+	ctx := context.Background()
+	if err := sp.Bind(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ref, _ := sp.Current(); ref != hostRef(0) {
+		t.Fatalf("bound to %v", ref)
+	}
+	_ = w.hosts[0].Close()
+	rs, err := sp.Invoke(ctx, "hello")
+	if err != nil {
+		t.Fatalf("failover invoke: %v", err)
+	}
+	if rs[0].Str() != "hello from host-1" {
+		t.Fatalf("failover answered %q", rs[0].Str())
+	}
+}

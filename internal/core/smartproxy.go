@@ -91,8 +91,14 @@ type Options struct {
 	// Failover treats availability as a nonfunctional requirement: when an
 	// invocation fails with a transport-level error (server crashed,
 	// connection lost — not application errors), the proxy re-selects with
-	// its configured constraint and retries the invocation once.
+	// its configured constraint and retries the invocation, governed by
+	// Retry.
 	Failover bool
+	// Retry shapes the failover path: MaxAttempts bounds the total number
+	// of invocation attempts (the first included) and Backoff spaces the
+	// re-selections. The zero value keeps the paper's behaviour of a
+	// single immediate retry.
+	Retry orb.RetryPolicy
 }
 
 type observation struct {
@@ -473,26 +479,51 @@ func isTransportError(err error) bool {
 	return !errors.As(err, &re)
 }
 
-// failover re-selects away from the failed server and retries once.
+// failover re-selects away from the failed server and retries, spacing
+// attempts with the configured retry policy's backoff. With a zero-value
+// policy it performs a single immediate retry (the paper's behaviour).
 func (sp *SmartProxy) failover(ctx context.Context, failed *selection, op string, args []wire.Value) ([]wire.Value, error) {
 	sp.logf("core: failover: %s unreachable, re-selecting", failed.result.Offer.Ref)
-	ok, err := sp.Select(ctx, sp.opts.Constraint)
-	if err != nil {
-		return nil, err
+	policy := sp.opts.Retry
+	attempts := policy.MaxAttempts
+	if attempts < 2 {
+		attempts = 2 // the original call was attempt 1; retry at least once
 	}
-	if !ok && sp.opts.FallbackSortOnly {
-		ok, err = sp.Select(ctx, "")
+	lastErr := error(ErrNoOffer)
+	for attempt := 2; attempt <= attempts; attempt++ {
+		if attempt > 2 {
+			if err := orb.SleepBackoff(ctx, policy.Backoff(attempt-1)); err != nil {
+				return nil, lastErr
+			}
+		}
+		ok, err := sp.Select(ctx, sp.opts.Constraint)
 		if err != nil {
 			return nil, err
 		}
+		if !ok && sp.opts.FallbackSortOnly {
+			ok, err = sp.Select(ctx, "")
+			if err != nil {
+				return nil, err
+			}
+		}
+		sp.mu.Lock()
+		sel := sp.sel
+		sp.mu.Unlock()
+		if !ok || sel == nil || sel.result.Offer.Ref == failed.result.Offer.Ref {
+			lastErr = ErrNoOffer
+			continue
+		}
+		rs, err := sel.proxy.Call(ctx, op, args...)
+		if err == nil {
+			return rs, nil
+		}
+		lastErr = err
+		if !isTransportError(err) {
+			return nil, err
+		}
+		failed = sel // this server failed too; keep hunting
 	}
-	sp.mu.Lock()
-	sel := sp.sel
-	sp.mu.Unlock()
-	if !ok || sel == nil || sel.result.Offer.Ref == failed.result.Offer.Ref {
-		return nil, ErrNoOffer
-	}
-	return sel.proxy.Call(ctx, op, args...)
+	return nil, lastErr
 }
 
 // Adapt drains the event queue and runs the strategy for each pending

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"autoadapt/internal/wire"
 )
@@ -19,6 +20,11 @@ var (
 	// client was not configured with.
 	ErrUnknownNetwork = errors.New("orb: unknown network in object reference")
 )
+
+// DefaultWriteTimeout bounds a single frame write when neither the
+// invocation context nor ClientOptions supplies a deadline, so one stuck
+// peer cannot hold a connection's write lock forever.
+const DefaultWriteTimeout = 30 * time.Second
 
 // RemoteError is an error reply from a remote servant.
 type RemoteError struct {
@@ -35,15 +41,39 @@ func IsRemoteCode(err error, code string) bool {
 	return errors.As(err, &re) && re.Code == code
 }
 
+// ClientOptions configures a Client's fault-tolerance layer.
+type ClientOptions struct {
+	// Networks the client can dial. Required.
+	Networks []Network
+	// Retry governs automatic re-invocation on transport faults. The zero
+	// value performs a single attempt.
+	Retry RetryPolicy
+	// InvokeTimeout is applied as a deadline to every Invoke whose context
+	// carries none (0 = unbounded). It covers all retry attempts together.
+	InvokeTimeout time.Duration
+	// WriteTimeout bounds each frame write; the tighter of it and the
+	// invocation deadline is used. 0 means DefaultWriteTimeout; negative
+	// disables the bound.
+	WriteTimeout time.Duration
+}
+
 // Client performs dynamic invocations on remote objects. It multiplexes
-// concurrent requests over one connection per endpoint and is safe for
-// concurrent use.
+// concurrent requests over one connection per endpoint, reconnects
+// transparently when a connection dies, and is safe for concurrent use.
 type Client struct {
-	networks map[string]Network
+	networks     map[string]Network
+	retry        RetryPolicy
+	timeout      time.Duration
+	writeTimeout time.Duration
 
 	mu     sync.Mutex
 	conns  map[string]*clientConn
+	dials  map[string]*inflightDial // per-endpoint singleflight
 	closed bool
+
+	// localWG tracks goroutines spawned by the collocated fast paths so
+	// Close can wait for them (the repo's no-goroutine-leaks convention).
+	localWG sync.WaitGroup
 
 	// LocalServers, when registered, enable a fast path: invocations on
 	// references served by this process bypass the transport entirely.
@@ -51,16 +81,42 @@ type Client struct {
 	local   map[string]*Server
 }
 
-// NewClient returns a client able to dial the given networks.
+// inflightDial de-duplicates concurrent dials to one endpoint: the first
+// caller dials (outside the client lock), everyone else waits on done.
+type inflightDial struct {
+	done chan struct{}
+	cc   *clientConn
+	err  error
+}
+
+// NewClient returns a client able to dial the given networks, with no
+// retries and default timeouts (see ClientOptions).
 func NewClient(nets ...Network) *Client {
-	m := make(map[string]Network, len(nets))
-	for _, n := range nets {
+	return NewClientOpts(ClientOptions{Networks: nets})
+}
+
+// NewClientOpts returns a client configured with the full fault-tolerance
+// surface.
+func NewClientOpts(opts ClientOptions) *Client {
+	m := make(map[string]Network, len(opts.Networks))
+	for _, n := range opts.Networks {
 		m[n.Name()] = n
 	}
+	wt := opts.WriteTimeout
+	switch {
+	case wt == 0:
+		wt = DefaultWriteTimeout
+	case wt < 0:
+		wt = 0
+	}
 	return &Client{
-		networks: m,
-		conns:    make(map[string]*clientConn),
-		local:    make(map[string]*Server),
+		networks:     m,
+		retry:        opts.Retry,
+		timeout:      opts.InvokeTimeout,
+		writeTimeout: wt,
+		conns:        make(map[string]*clientConn),
+		dials:        make(map[string]*inflightDial),
+		local:        make(map[string]*Server),
 	}
 }
 
@@ -74,27 +130,95 @@ func (c *Client) RegisterLocal(s *Server) {
 	c.local[s.Endpoint()] = s
 }
 
-// Invoke calls op on the object named by ref and waits for its reply.
+// Invoke calls op on the object named by ref and waits for its reply,
+// applying the client's retry policy to transport faults. The context
+// deadline (or InvokeTimeout) rides the wire so the server can abort
+// dispatch once the caller has given up.
 func (c *Client) Invoke(ctx context.Context, ref wire.ObjRef, op string, args ...wire.Value) ([]wire.Value, error) {
 	if ref.IsZero() {
 		return nil, errors.New("orb: invoke on nil object reference")
 	}
-	// Collocated fast path.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		rs, err := c.invokeOnce(ctx, ref, op, args)
+		if err == nil {
+			return rs, nil
+		}
+		if attempt >= c.retry.maxAttempts() || !c.retry.Retryable(err) {
+			return nil, err
+		}
+		if serr := SleepBackoff(ctx, c.retry.Backoff(attempt)); serr != nil {
+			return nil, err // the deadline beat the backoff; report the fault
+		}
+	}
+}
+
+// invokeOnce performs a single invocation attempt.
+func (c *Client) invokeOnce(ctx context.Context, ref wire.ObjRef, op string, args []wire.Value) ([]wire.Value, error) {
 	c.localMu.RLock()
 	local, ok := c.local[ref.Endpoint]
 	c.localMu.RUnlock()
 	if ok {
-		rep := local.dispatch(&wire.Request{ObjectKey: ref.Key, Operation: op, Args: args})
-		if rep.Err != "" {
-			return nil, &RemoteError{Code: rep.ErrCode, Msg: rep.Err}
-		}
-		return rep.Results, nil
+		return c.invokeLocal(ctx, local, ref.Key, op, args)
 	}
-	cc, err := c.conn(ref.Endpoint)
+	cc, err := c.conn(ctx, ref.Endpoint)
 	if err != nil {
 		return nil, err
 	}
 	return cc.roundTrip(ctx, ref.Key, op, args)
+}
+
+// invokeLocal is the collocated fast path. It honors ctx: an already-done
+// context never dispatches, and a cancellable one can interrupt the wait
+// (the servant call itself runs to completion in a tracked goroutine).
+func (c *Client) invokeLocal(ctx context.Context, local *Server, key, op string, args []wire.Value) ([]wire.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &wire.Request{ObjectKey: key, Operation: op, Args: args}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
+	}
+	if ctx.Done() == nil {
+		// Uncancellable context (e.g. Background): dispatch inline, free
+		// of any goroutine or channel cost.
+		return replyToResults(local.dispatch(req))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.localWG.Add(1)
+	c.mu.Unlock()
+	ch := make(chan *wire.Reply, 1)
+	go func() {
+		defer c.localWG.Done()
+		ch <- local.dispatch(req)
+	}()
+	select {
+	case rep := <-ch:
+		return replyToResults(rep)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// replyToResults converts a reply into the Invoke return values.
+func replyToResults(rep *wire.Reply) ([]wire.Value, error) {
+	if rep.Err != "" {
+		return nil, &RemoteError{Code: rep.ErrCode, Msg: rep.Err}
+	}
+	return rep.Results, nil
 }
 
 // InvokeOneway sends a request without waiting for any reply.
@@ -106,19 +230,31 @@ func (c *Client) InvokeOneway(ref wire.ObjRef, op string, args ...wire.Value) er
 	local, ok := c.local[ref.Endpoint]
 	c.localMu.RUnlock()
 	if ok {
-		// Preserve oneway semantics: fire and forget, asynchronously.
-		go local.dispatch(&wire.Request{ObjectKey: ref.Key, Operation: op, Args: args})
+		// Preserve oneway semantics (fire and forget, asynchronously) but
+		// track the dispatch so Close waits for it.
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		c.localWG.Add(1)
+		c.mu.Unlock()
+		go func() {
+			defer c.localWG.Done()
+			local.dispatch(&wire.Request{ObjectKey: ref.Key, Operation: op, Args: args})
+		}()
 		return nil
 	}
-	cc, err := c.conn(ref.Endpoint)
+	cc, err := c.conn(context.Background(), ref.Endpoint)
 	if err != nil {
 		return err
 	}
 	return cc.sendOneway(ref.Key, op, args)
 }
 
-// Close tears down every connection. In-flight invocations fail with
-// ErrClosed or a transport error.
+// Close tears down every connection and waits for the client's background
+// goroutines (connection readers, tracked local dispatches) to finish.
+// In-flight invocations fail with ErrClosed or a transport error.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -135,18 +271,68 @@ func (c *Client) Close() error {
 	for _, cc := range conns {
 		cc.close(ErrClosed)
 	}
+	for _, cc := range conns {
+		<-cc.readerDone
+	}
+	c.localWG.Wait()
 	return nil
 }
 
-func (c *Client) conn(endpoint string) (*clientConn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClosed
+// conn returns a live connection to endpoint, dialing if necessary. The
+// dial happens *outside* the client lock — a slow or unreachable endpoint
+// must never stall invocations to healthy ones — and concurrent dials to
+// the same endpoint collapse into one (per-endpoint singleflight). Dead
+// connections are evicted eagerly.
+func (c *Client) conn(ctx context.Context, endpoint string) (*clientConn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if cc, ok := c.conns[endpoint]; ok {
+			if !cc.isDead() {
+				c.mu.Unlock()
+				return cc, nil
+			}
+			delete(c.conns, endpoint)
+		}
+		if d, ok := c.dials[endpoint]; ok {
+			c.mu.Unlock()
+			select {
+			case <-d.done:
+				if d.err != nil {
+					return nil, d.err
+				}
+				continue // adopt the fresh conn (or redial if it died already)
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		d := &inflightDial{done: make(chan struct{})}
+		c.dials[endpoint] = d
+		c.mu.Unlock()
+
+		cc, err := c.dialEndpoint(ctx, endpoint)
+		c.mu.Lock()
+		delete(c.dials, endpoint)
+		if err == nil && c.closed {
+			err = ErrClosed
+			cc.close(ErrClosed)
+			cc = nil
+		}
+		if err == nil {
+			c.conns[endpoint] = cc
+		}
+		c.mu.Unlock()
+		d.cc, d.err = cc, err
+		close(d.done)
+		return cc, err
 	}
-	if cc, ok := c.conns[endpoint]; ok && !cc.isDead() {
-		return cc, nil
-	}
+}
+
+// dialEndpoint opens and wraps a new connection to endpoint.
+func (c *Client) dialEndpoint(ctx context.Context, endpoint string) (*clientConn, error) {
 	network, addr, err := SplitEndpoint(endpoint)
 	if err != nil {
 		return nil, err
@@ -155,18 +341,20 @@ func (c *Client) conn(endpoint string) (*clientConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNetwork, network)
 	}
-	raw, err := n.Dial(addr)
+	raw, err := dialContext(ctx, n, addr)
 	if err != nil {
-		return nil, err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &ConnectError{Err: err}
 	}
-	cc := newClientConn(raw)
-	c.conns[endpoint] = cc
-	return cc, nil
+	return newClientConn(raw, c.writeTimeout), nil
 }
 
 // clientConn multiplexes requests over one transport connection.
 type clientConn struct {
-	raw net.Conn
+	raw          net.Conn
+	writeTimeout time.Duration
 
 	writeMu sync.Mutex
 
@@ -179,12 +367,13 @@ type clientConn struct {
 	readerDone chan struct{}
 }
 
-func newClientConn(raw net.Conn) *clientConn {
+func newClientConn(raw net.Conn, writeTimeout time.Duration) *clientConn {
 	cc := &clientConn{
-		raw:        raw,
-		nextID:     1,
-		pending:    make(map[uint64]chan *wire.Reply),
-		readerDone: make(chan struct{}),
+		raw:          raw,
+		writeTimeout: writeTimeout,
+		nextID:       1,
+		pending:      make(map[uint64]chan *wire.Reply),
+		readerDone:   make(chan struct{}),
 	}
 	go cc.readLoop()
 	return cc
@@ -243,12 +432,34 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
+// writeFrame sends one frame under the write lock, bounded by the tighter
+// of the invocation deadline and the connection's write timeout so a stuck
+// peer cannot hold writeMu forever. The deadline is set and cleared inside
+// the lock, keeping concurrent writers' deadlines from clobbering each
+// other.
+func (cc *clientConn) writeFrame(payload []byte, deadline time.Time) error {
+	if cc.writeTimeout > 0 {
+		bound := time.Now().Add(cc.writeTimeout)
+		if deadline.IsZero() || bound.Before(deadline) {
+			deadline = bound
+		}
+	}
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	if !deadline.IsZero() {
+		_ = cc.raw.SetWriteDeadline(deadline)
+		defer func() { _ = cc.raw.SetWriteDeadline(time.Time{}) }()
+	}
+	return wire.WriteFrame(cc.raw, payload)
+}
+
 func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire.Value) ([]wire.Value, error) {
 	cc.mu.Lock()
 	if cc.dead {
 		err := cc.deadErr
 		cc.mu.Unlock()
-		return nil, err
+		// Nothing was sent on this attempt: always safe to retry.
+		return nil, &ConnectError{Err: err}
 	}
 	id := cc.nextID
 	cc.nextID++
@@ -256,24 +467,23 @@ func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
-	payload, err := wire.EncodeRequest(&wire.Request{ID: id, ObjectKey: key, Operation: op, Args: args}, false)
+	req := &wire.Request{ID: id, ObjectKey: key, Operation: op, Args: args}
+	var deadline time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = dl
+		req.Deadline = dl.UnixNano()
+	}
+	payload, err := wire.EncodeRequest(req, false)
 	if err != nil {
 		cc.forget(id)
 		return nil, err
 	}
-	cc.writeMu.Lock()
-	err = wire.WriteFrame(cc.raw, payload)
-	cc.writeMu.Unlock()
-	if err != nil {
+	if err := cc.writeFrame(payload, deadline); err != nil {
 		cc.forget(id)
 		cc.close(fmt.Errorf("orb: write failed: %w", err))
 		return nil, err
 	}
 
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
-	}
 	select {
 	case rep, ok := <-ch:
 		if !ok {
@@ -282,11 +492,8 @@ func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire
 			cc.mu.Unlock()
 			return nil, err
 		}
-		if rep.Err != "" {
-			return nil, &RemoteError{Code: rep.ErrCode, Msg: rep.Err}
-		}
-		return rep.Results, nil
-	case <-done:
+		return replyToResults(rep)
+	case <-ctx.Done():
 		cc.forget(id)
 		return nil, ctx.Err()
 	}
@@ -310,9 +517,7 @@ func (cc *clientConn) sendOneway(key, op string, args []wire.Value) error {
 	if err != nil {
 		return err
 	}
-	cc.writeMu.Lock()
-	defer cc.writeMu.Unlock()
-	if err := wire.WriteFrame(cc.raw, payload); err != nil {
+	if err := cc.writeFrame(payload, time.Time{}); err != nil {
 		cc.close(fmt.Errorf("orb: write failed: %w", err))
 		return err
 	}

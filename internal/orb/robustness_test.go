@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -152,6 +153,429 @@ func TestOnewayStormDoesNotBlockTwoWay(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("two-way call starved by oneway storm")
+	}
+}
+
+// ---- Fault-tolerance layer ----
+
+// gateNetwork lets a test make dialing specific addresses hang until a
+// gate channel is closed, simulating an unreachable-but-not-refusing peer.
+type gateNetwork struct {
+	inner *InprocNetwork
+	mu    sync.Mutex
+	gates map[string]chan struct{}
+}
+
+func (g *gateNetwork) Name() string                      { return g.inner.Name() }
+func (g *gateNetwork) Listen(a string) (Listener, error) { return g.inner.Listen(a) }
+func (g *gateNetwork) Dial(a string) (net.Conn, error) {
+	g.mu.Lock()
+	gate := g.gates[a]
+	g.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return g.inner.Dial(a)
+}
+
+// TestHangingEndpointDoesNotBlockHealthy is the regression test for the
+// client-wide dial lock: with one endpoint hanging in Dial, invocations to
+// a healthy endpoint must still complete.
+func TestHangingEndpointDoesNotBlockHealthy(t *testing.T) {
+	inner := NewInprocNetwork()
+	gate := make(chan struct{})
+	gnet := &gateNetwork{inner: inner, gates: map[string]chan struct{}{"black-hole": gate}}
+	defer close(gate) // release the hung dial at test end
+
+	srv, err := NewServer(ServerOptions{Network: inner, Address: "healthy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+
+	client := NewClient(gnet)
+	defer client.Close()
+
+	// Start an invocation into the black hole; its dial blocks on the gate.
+	hungCtx, cancelHung := context.WithCancel(context.Background())
+	defer cancelHung()
+	hungDone := make(chan error, 1)
+	go func() {
+		_, err := client.Invoke(hungCtx, wire.ObjRef{Endpoint: "inproc|black-hole", Key: "x"}, "op")
+		hungDone <- err
+	}()
+
+	// Give the hung dial time to take whatever lock it takes.
+	time.Sleep(20 * time.Millisecond)
+
+	healthyDone := make(chan error, 1)
+	go func() {
+		_, err := client.Invoke(context.Background(), ref, "add", wire.Int(1), wire.Int(2))
+		healthyDone <- err
+	}()
+	select {
+	case err := <-healthyDone:
+		if err != nil {
+			t.Fatalf("healthy invoke failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy endpoint blocked by hanging dial to another endpoint")
+	}
+
+	// The hung invocation must honor cancellation even mid-dial.
+	cancelHung()
+	select {
+	case err := <-hungDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hung invoke err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled invoke still stuck in dial")
+	}
+}
+
+// countingNetwork counts dials to verify per-endpoint singleflight.
+type countingNetwork struct {
+	inner *InprocNetwork
+	dials atomic.Int64
+}
+
+func (c *countingNetwork) Name() string                      { return c.inner.Name() }
+func (c *countingNetwork) Listen(a string) (Listener, error) { return c.inner.Listen(a) }
+func (c *countingNetwork) Dial(a string) (net.Conn, error) {
+	c.dials.Add(1)
+	time.Sleep(10 * time.Millisecond) // widen the race window
+	return c.inner.Dial(a)
+}
+
+func TestConcurrentInvokesShareOneDial(t *testing.T) {
+	inner := NewInprocNetwork()
+	cnet := &countingNetwork{inner: inner}
+	srv, err := NewServer(ServerOptions{Network: inner, Address: "dedup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+	client := NewClient(cnet)
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := client.Invoke(context.Background(), ref, "echo", wire.Int(i)); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := cnet.dials.Load(); n != 1 {
+		t.Fatalf("dials = %d, want 1 (singleflight)", n)
+	}
+}
+
+func TestRetrySucceedsAfterDroppedDial(t *testing.T) {
+	inner := NewInprocNetwork()
+	fnet := NewFaultNetwork(inner)
+	srv, err := NewServer(ServerOptions{Network: inner, Address: "flaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+
+	client := NewClientOpts(ClientOptions{
+		Networks: []Network{fnet},
+		Retry:    RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond},
+	})
+	defer client.Close()
+
+	fnet.FailNextDials(1)
+	rs, err := client.Invoke(context.Background(), ref, "add", wire.Int(20), wire.Int(22))
+	if err != nil {
+		t.Fatalf("invoke with retry: %v", err)
+	}
+	if rs[0].Num() != 42 {
+		t.Fatalf("result = %v", rs[0])
+	}
+	if n := fnet.Dials(); n != 2 {
+		t.Fatalf("dials = %d, want 2 (one dropped, one retried)", n)
+	}
+}
+
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	inner := NewInprocNetwork()
+	fnet := NewFaultNetwork(inner)
+	srv, err := NewServer(ServerOptions{Network: inner, Address: "flaky-nopolicy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+	client := NewClient(fnet)
+	defer client.Close()
+
+	fnet.FailNextDials(1)
+	if _, err := client.Invoke(context.Background(), ref, "echo"); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("err = %v, want injected fault to surface (no retry policy)", err)
+	}
+	if n := fnet.Dials(); n != 1 {
+		t.Fatalf("dials = %d, want 1", n)
+	}
+}
+
+// TestMidReplySeverEvictsAndReconnects severs the connection in the middle
+// of a reply frame. The pending invocation must fail, and the next one
+// must transparently redial rather than reuse the dead connection.
+func TestMidReplySeverEvictsAndReconnects(t *testing.T) {
+	inner := NewInprocNetwork()
+	fnet := NewFaultNetwork(inner)
+	srv, err := NewServer(ServerOptions{Network: inner, Address: "sever"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+	client := NewClient(fnet)
+	defer client.Close()
+
+	fnet.SeverNextConnAfterBytes(6) // header + 2 bytes: mid-reply
+	if _, err := client.Invoke(context.Background(), ref, "add", wire.Int(1), wire.Int(1)); err == nil {
+		t.Fatal("invoke succeeded across a severed connection")
+	}
+	// The dead conn must be evicted: a fresh invoke redials and succeeds.
+	rs, err := client.Invoke(context.Background(), ref, "add", wire.Int(2), wire.Int(3))
+	if err != nil {
+		t.Fatalf("invoke after sever: %v", err)
+	}
+	if rs[0].Num() != 5 {
+		t.Fatalf("result = %v", rs[0])
+	}
+	if n := fnet.Dials(); n != 2 {
+		t.Fatalf("dials = %d, want 2 (severed conn evicted)", n)
+	}
+}
+
+// TestSeverRecoveredByIdempotentRetry drives the same fault through the
+// retry layer: with RetryIdempotent, one Invoke call absorbs the sever.
+func TestSeverRecoveredByIdempotentRetry(t *testing.T) {
+	inner := NewInprocNetwork()
+	fnet := NewFaultNetwork(inner)
+	srv, err := NewServer(ServerOptions{Network: inner, Address: "sever-retry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+	client := NewClientOpts(ClientOptions{
+		Networks: []Network{fnet},
+		Retry:    RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, RetryIdempotent: true},
+	})
+	defer client.Close()
+
+	fnet.SeverNextConnAfterFrames(1) // first reply arrives, then the conn dies
+	if _, err := client.Invoke(context.Background(), ref, "echo", wire.Int(1)); err != nil {
+		t.Fatalf("first invoke: %v", err)
+	}
+	// The first conn is now severed; this invoke loses it mid-flight and
+	// must recover on a fresh connection within the same call.
+	rs, err := client.Invoke(context.Background(), ref, "add", wire.Int(40), wire.Int(2))
+	if err != nil {
+		t.Fatalf("invoke across sever with idempotent retry: %v", err)
+	}
+	if rs[0].Num() != 42 {
+		t.Fatalf("result = %v", rs[0])
+	}
+}
+
+func TestDelayedReplyRacesCancellation(t *testing.T) {
+	inner := NewInprocNetwork()
+	fnet := NewFaultNetwork(inner)
+	srv, err := NewServer(ServerOptions{Network: inner, Address: "laggy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoServant())
+	client := NewClient(fnet)
+	defer client.Close()
+
+	fnet.SetReadDelay(300 * time.Millisecond) // replies crawl
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Invoke(ctx, ref, "echo", wire.Int(1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("cancellation took %v; delayed reply blocked it", elapsed)
+	}
+}
+
+// TestServerAbortsExpiredDeadline hand-crafts a request whose wire
+// deadline has already passed: the server must answer DEADLINE_EXCEEDED
+// without dispatching to the servant.
+func TestServerAbortsExpiredDeadline(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "deadline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var dispatched atomic.Bool
+	srv.Register("echo", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		dispatched.Store(true)
+		return args, nil
+	}))
+
+	raw, err := n.Dial("deadline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	payload, err := wire.EncodeRequest(&wire.Request{
+		ID: 1, ObjectKey: "echo", Operation: "echo",
+		Deadline: time.Now().Add(-time.Second).UnixNano(),
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(raw, payload); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := wire.ReadFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.DecodeMessage(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Rep == nil || msg.Rep.ErrCode != CodeDeadline {
+		t.Fatalf("reply = %+v, want ErrCode %s", msg.Rep, CodeDeadline)
+	}
+	if dispatched.Load() {
+		t.Fatal("servant dispatched despite expired deadline")
+	}
+}
+
+// TestCollocatedInvokeHonorsContext covers the fast-path ctx bugs: an
+// already-cancelled context must not dispatch, and a deadline must
+// interrupt the wait on a slow servant.
+func TestCollocatedInvokeHonorsContext(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "colloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var dispatched atomic.Int64
+	ref := srv.Register("svc", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		dispatched.Add(1)
+		if op == "slow" {
+			time.Sleep(200 * time.Millisecond)
+		}
+		return nil, nil
+	}))
+	client := NewClient(n)
+	defer client.Close()
+	client.RegisterLocal(srv)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.Invoke(cancelled, ref, "fast"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if dispatched.Load() != 0 {
+		t.Fatal("cancelled context still dispatched locally")
+	}
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err = client.Invoke(ctx, ref, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("local dispatch ignored deadline (took %v)", elapsed)
+	}
+}
+
+// TestLocalOnewayWaitedOnClose asserts the collocated oneway fast path's
+// goroutines are tracked: Close must not return before they finish.
+func TestLocalOnewayWaitedOnClose(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "oneway-track"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var finished atomic.Int64
+	ref := srv.Register("svc", "", ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		time.Sleep(50 * time.Millisecond)
+		finished.Add(1)
+		return nil, nil
+	}))
+	client := NewClient(n)
+	client.RegisterLocal(srv)
+	for i := 0; i < 3; i++ {
+		if err := client.InvokeOneway(ref, "fire"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := finished.Load(); got != 3 {
+		t.Fatalf("Close returned with %d/3 local oneways finished", got)
+	}
+	// After Close, new local oneways must be refused, not leaked.
+	if err := client.InvokeOneway(ref, "fire"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("oneway after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestWriteDeadlineUnsticksStuckPeer connects to a listener that accepts
+// but never reads: without write deadlines the frame write would block
+// writeMu forever.
+func TestWriteDeadlineUnsticksStuckPeer(t *testing.T) {
+	n := NewInprocNetwork()
+	l, err := n.Listen("mute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accepted but never read
+		}
+	}()
+
+	client := NewClientOpts(ClientOptions{Networks: []Network{n}, WriteTimeout: 50 * time.Millisecond})
+	defer client.Close()
+	ref := wire.ObjRef{Endpoint: "inproc|mute", Key: "x"}
+	start := time.Now()
+	_, err = client.Invoke(context.Background(), ref, "op")
+	if err == nil {
+		t.Fatal("invoke to mute peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stuck write held for %v despite write timeout", elapsed)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"autoadapt/internal/idl"
 	"autoadapt/internal/wire"
@@ -20,6 +21,9 @@ const (
 	CodeBadParam     = "BAD_PARAM"
 	CodeInternal     = "INTERNAL"
 	CodeApp          = "APP_ERROR"
+	// CodeDeadline is returned when a request arrives with its wire
+	// deadline already expired; the server aborts before dispatch.
+	CodeDeadline = "DEADLINE_EXCEEDED"
 )
 
 // Servant is the dynamic skeleton interface: every object exposes a single
@@ -226,6 +230,17 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				writeMu.Lock()
 				defer writeMu.Unlock()
+				// Bound the reply write by the request's wire deadline (with
+				// a small floor so even an already-expired caller gets its
+				// DEADLINE_EXCEEDED reply rather than a hang).
+				if req.Deadline != 0 {
+					wd := time.Unix(0, req.Deadline)
+					if floor := time.Now().Add(time.Second); wd.Before(floor) {
+						wd = floor
+					}
+					_ = conn.SetWriteDeadline(wd)
+					defer func() { _ = conn.SetWriteDeadline(time.Time{}) }()
+				}
 				if err := wire.WriteFrame(conn, out); err != nil {
 					s.logf("orb: write reply: %v", err)
 				}
@@ -246,6 +261,10 @@ func (s *Server) serveConn(conn net.Conn) {
 // dispatch routes a request to its servant, applying IDL checking when
 // configured, and converts errors into error replies.
 func (s *Server) dispatch(req *wire.Request) *wire.Reply {
+	if req.Deadline != 0 && time.Now().UnixNano() > req.Deadline {
+		return &wire.Reply{ID: req.ID, ErrCode: CodeDeadline,
+			Err: fmt.Sprintf("deadline expired before dispatch of %q", req.Operation)}
+	}
 	s.mu.RLock()
 	entry, ok := s.servants[req.ObjectKey]
 	s.mu.RUnlock()

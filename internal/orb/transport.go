@@ -15,6 +15,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -42,10 +43,53 @@ type Listener interface {
 	Addr() string
 }
 
+// ContextDialer is an optional Network extension: transports that can
+// abort an in-flight dial when the caller's context ends implement it.
+// For transports that cannot, the client falls back to running Dial in a
+// helper goroutine and abandoning (closing) the connection if the context
+// wins the race.
+type ContextDialer interface {
+	DialContext(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// dialContext dials addr on n, honoring ctx cancellation even when the
+// transport itself blocks.
+func dialContext(ctx context.Context, n Network, addr string) (net.Conn, error) {
+	if cd, ok := n.(ContextDialer); ok {
+		return cd.DialContext(ctx, addr)
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return n.Dial(addr)
+	}
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := n.Dial(addr)
+		ch <- result{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-ctx.Done():
+		go func() { // reap the abandoned dial when it eventually returns
+			if r := <-ch; r.conn != nil {
+				_ = r.conn.Close()
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
 // TCPNetwork is the production transport.
 type TCPNetwork struct{}
 
-var _ Network = TCPNetwork{}
+var (
+	_ Network       = TCPNetwork{}
+	_ ContextDialer = TCPNetwork{}
+)
 
 // Name implements Network.
 func (TCPNetwork) Name() string { return "tcp" }
@@ -62,6 +106,16 @@ func (TCPNetwork) Listen(addr string) (Listener, error) {
 // Dial implements Network.
 func (TCPNetwork) Dial(addr string) (net.Conn, error) {
 	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// DialContext implements ContextDialer.
+func (TCPNetwork) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orb: dial %s: %w", addr, err)
 	}

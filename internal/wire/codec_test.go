@@ -262,6 +262,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		ObjectKey: "monitor/LoadAvg",
 		Operation: "getAspectValue",
 		Args:      []Value{String("Increasing"), Int(5)},
+		Deadline:  1234567890123456789,
 	}
 	payload, err := EncodeRequest(req, false)
 	if err != nil {
@@ -277,6 +278,9 @@ func TestRequestRoundTrip(t *testing.T) {
 	got := msg.Req
 	if got.ID != req.ID || got.ObjectKey != req.ObjectKey || got.Operation != req.Operation {
 		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Deadline != req.Deadline {
+		t.Fatalf("deadline = %d, want %d", got.Deadline, req.Deadline)
 	}
 	if len(got.Args) != 2 || !got.Args[0].Equal(req.Args[0]) || !got.Args[1].Equal(req.Args[1]) {
 		t.Fatalf("args mismatch: %v", got.Args)

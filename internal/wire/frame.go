@@ -40,6 +40,11 @@ type Request struct {
 	ObjectKey string  // target object within the server's adapter
 	Operation string  // operation name
 	Args      []Value // positional arguments
+
+	// Deadline is the invocation deadline in Unix nanoseconds (0 = none).
+	// It rides the wire so servers can abort dispatch of requests whose
+	// caller has already given up and bound the write of the reply.
+	Deadline int64
 }
 
 // Reply carries the results of a request, or an error.
@@ -59,6 +64,7 @@ func EncodeRequest(req *Request, oneway bool) ([]byte, error) {
 	}
 	buf := []byte{byte(mt)}
 	buf = appendUint64(buf, req.ID)
+	buf = appendUint64(buf, uint64(req.Deadline))
 	buf = appendString(buf, req.ObjectKey)
 	buf = appendString(buf, req.Operation)
 	buf = appendString(buf, "") // reserved (e.g. auth context)
@@ -116,6 +122,11 @@ func DecodeMessage(payload []byte) (*Message, error) {
 		if req.ID, err = d.u64(); err != nil {
 			return nil, err
 		}
+		dl, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		req.Deadline = int64(dl)
 		if req.ObjectKey, err = d.str(); err != nil {
 			return nil, err
 		}
