@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-smoke
 
 check: vet build race
 
@@ -20,3 +20,8 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# One iteration of every benchmark: catches benches that break (compile
+# errors, Fatal paths) without paying for stable numbers. CI runs this.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime=1x .

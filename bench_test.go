@@ -264,6 +264,77 @@ func BenchmarkE5TraderQuery100Dynamic(b *testing.B)  { benchTrader(b, 100, 1) }
 func BenchmarkE5TraderQuery1000Static(b *testing.B)  { benchTrader(b, 1000, 0) }
 func BenchmarkE5TraderQuery1000Dynamic(b *testing.B) { benchTrader(b, 1000, 1) }
 
+// ---- E10: remote dynamic resolution over TCP-served monitors ----
+
+// e10MonServiceTime simulates the time a monitor spends servicing
+// getValue — sampling its sensor plus LAN round-trip time. Localhost TCP
+// collapses network latency to syscall cost, so without this the benchmark
+// would measure a degenerate zero-RTT network no deployment has.
+const e10MonServiceTime = 200 * time.Microsecond
+
+// benchRemoteQuery measures end-to-end trader query latency when every
+// offer's LoadAvg is a dynamic property served by a monitor servant behind
+// a real TCP ORB endpoint, as the offer count grows. Monitors are spread
+// across `hosts` TCP servers to model a cluster of monitor hosts. workers
+// = 1 reproduces the seed's serial resolution loop; workers = 0 keeps the
+// trader's default bounded fan-out.
+func benchRemoteQuery(b *testing.B, offers, hosts, workers int) {
+	var servers []*orb.Server
+	for h := 0; h < hosts; h++ {
+		srv, err := orb.NewServer(orb.ServerOptions{Network: orb.TCPNetwork{}, Address: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+	}
+	client := orb.NewClient(orb.TCPNetwork{})
+	defer client.Close()
+	tr := trading.NewTrader(trading.ClientResolver{Client: client})
+	if workers > 0 {
+		tr.SetResolveParallel(workers)
+	}
+	tr.AddType(trading.ServiceType{Name: "S"})
+	for i := 0; i < offers; i++ {
+		load := float64(i % 10)
+		monRef := servers[i%hosts].Register(fmt.Sprintf("mon-%d", i), "", orb.ServantFunc(
+			func(op string, args []wire.Value) ([]wire.Value, error) {
+				if op != "getValue" {
+					return nil, fmt.Errorf("monitor: no such operation %q", op)
+				}
+				time.Sleep(e10MonServiceTime)
+				return []wire.Value{wire.Number(load)}, nil
+			}))
+		props := map[string]trading.PropValue{"LoadAvg": {Dynamic: monRef}}
+		svcRef := wire.ObjRef{Endpoint: fmt.Sprintf("inproc|svc-%d", i), Key: "svc"}
+		if _, err := tr.Export("S", svcRef, props); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	query := func() {
+		rs, err := tr.Query(ctx, "S", "LoadAvg < 5", "min LoadAvg", 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) == 0 {
+			b.Fatal("no match")
+		}
+	}
+	query() // warm connections to every monitor host
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query()
+	}
+}
+
+func BenchmarkE10RemoteQuery16(b *testing.B)        { benchRemoteQuery(b, 16, 4, 0) }
+func BenchmarkE10RemoteQuery64(b *testing.B)        { benchRemoteQuery(b, 64, 4, 0) }
+func BenchmarkE10RemoteQuery256(b *testing.B)       { benchRemoteQuery(b, 256, 4, 0) }
+func BenchmarkE10RemoteQuery64Serial(b *testing.B)  { benchRemoteQuery(b, 64, 4, 1) }
+func BenchmarkE10RemoteQuery256Serial(b *testing.B) { benchRemoteQuery(b, 256, 4, 1) }
+
 // ---- E6 ----
 
 func BenchmarkE6RelaxedRequery(b *testing.B) {

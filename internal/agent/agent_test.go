@@ -85,7 +85,9 @@ func TestStartExportsOfferWithDynamicProps(t *testing.T) {
 	if f.trader.OfferCount() != 1 {
 		t.Fatalf("offers = %d", f.trader.OfferCount())
 	}
-	rs, err := f.lookup.Query(context.Background(), "LoadShared", "LoadAvg < 1", "min LoadAvg", 0)
+	// Snapshots are demand-driven: reference LoadAvgIncreasing in the
+	// constraint so its value is resolved and lands in the snapshot.
+	rs, err := f.lookup.Query(context.Background(), "LoadShared", "LoadAvg < 1 and LoadAvgIncreasing == no", "min LoadAvg", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,9 @@ func TestConfigScriptPrimitives(t *testing.T) {
 			exportaspect("LoadAvg15", "Load15")
 		`
 	})
-	rs, err := f.lookup.Query(context.Background(), "LoadShared", "Region == 'lab-3'", "", 0)
+	// Reference the script-exported aspect so the demand-driven snapshot
+	// resolves it.
+	rs, err := f.lookup.Query(context.Background(), "LoadShared", "Region == 'lab-3'", "min LoadAvg15", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,73 @@
+package orb
+
+import (
+	"context"
+	"testing"
+
+	"autoadapt/internal/wire"
+)
+
+// Allocation-regression guards for the invocation paths the pooled-buffer
+// overhaul optimized. Ceilings carry a little slack over measured counts
+// so runtime noise does not flake them; a real regression (per-call
+// buffers, goroutine spawns, reply-channel churn) blows well past slack.
+// NOTE: AllocsPerRun counts allocations on ALL goroutines, so the server
+// side of an invocation is included.
+
+func echoGuardServant() Servant {
+	return ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		return args, nil
+	})
+}
+
+func TestAllocGuardCollocatedInvoke(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "alloc-colloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoGuardServant())
+	client := NewClient(n)
+	defer client.Close()
+	client.RegisterLocal(srv)
+	ctx := context.Background()
+	arg := wire.Int(42)
+	// Measured: 3 allocs/op (args slice, results slice, context check).
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := client.Invoke(ctx, ref, "echo", arg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("collocated Invoke: %.1f allocs/op, want <= 4", allocs)
+	}
+}
+
+func TestAllocGuardInprocInvoke(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := NewServer(ServerOptions{Network: n, Address: "alloc-inproc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ref := srv.Register("echo", "", echoGuardServant())
+	client := NewClient(n)
+	defer client.Close()
+	ctx := context.Background()
+	arg := wire.Int(42)
+	// Warm the connection so dialing is not measured.
+	if _, err := client.Invoke(ctx, ref, "echo", arg); err != nil {
+		t.Fatal(err)
+	}
+	// Measured: 14 allocs/op across both sides of the full marshal →
+	// frame → dispatch → reply path (was 29 before buffer pooling).
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := client.Invoke(ctx, ref, "echo", arg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 17 {
+		t.Fatalf("inproc Invoke: %.1f allocs/op, want <= 17", allocs)
+	}
+}

@@ -404,8 +404,9 @@ func (cc *clientConn) close(err error) {
 
 func (cc *clientConn) readLoop() {
 	defer close(cc.readerDone)
+	fr := wire.NewFrameReader(cc.raw)
 	for {
-		payload, err := wire.ReadFrame(cc.raw)
+		payload, err := fr.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
@@ -432,12 +433,12 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
-// writeFrame sends one frame under the write lock, bounded by the tighter
-// of the invocation deadline and the connection's write timeout so a stuck
-// peer cannot hold writeMu forever. The deadline is set and cleared inside
-// the lock, keeping concurrent writers' deadlines from clobbering each
-// other.
-func (cc *clientConn) writeFrame(payload []byte, deadline time.Time) error {
+// writeFrame sends one pre-framed buffer under the write lock, bounded by
+// the tighter of the invocation deadline and the connection's write timeout
+// so a stuck peer cannot hold writeMu forever. The deadline is set and
+// cleared inside the lock, keeping concurrent writers' deadlines from
+// clobbering each other. The whole frame goes out in one Write.
+func (cc *clientConn) writeFrame(fb *wire.FrameBuffer, deadline time.Time) error {
 	if cc.writeTimeout > 0 {
 		bound := time.Now().Add(cc.writeTimeout)
 		if deadline.IsZero() || bound.Before(deadline) {
@@ -450,7 +451,7 @@ func (cc *clientConn) writeFrame(payload []byte, deadline time.Time) error {
 		_ = cc.raw.SetWriteDeadline(deadline)
 		defer func() { _ = cc.raw.SetWriteDeadline(time.Time{}) }()
 	}
-	return wire.WriteFrame(cc.raw, payload)
+	return fb.WriteFrame(cc.raw)
 }
 
 func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire.Value) ([]wire.Value, error) {
@@ -463,22 +464,27 @@ func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire
 	}
 	id := cc.nextID
 	cc.nextID++
-	ch := make(chan *wire.Reply, 1)
+	ch := getReplyChan()
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
-	req := &wire.Request{ID: id, ObjectKey: key, Operation: op, Args: args}
+	req := wire.Request{ID: id, ObjectKey: key, Operation: op, Args: args}
 	var deadline time.Time
 	if dl, ok := ctx.Deadline(); ok {
 		deadline = dl
 		req.Deadline = dl.UnixNano()
 	}
-	payload, err := wire.EncodeRequest(req, false)
+	fb := wire.GetFrameBuffer()
+	out, err := wire.AppendRequest(fb.B, &req, false)
 	if err != nil {
+		wire.PutFrameBuffer(fb)
 		cc.forget(id)
 		return nil, err
 	}
-	if err := cc.writeFrame(payload, deadline); err != nil {
+	fb.B = out
+	err = cc.writeFrame(fb, deadline)
+	wire.PutFrameBuffer(fb)
+	if err != nil {
 		cc.forget(id)
 		cc.close(fmt.Errorf("orb: write failed: %w", err))
 		return nil, err
@@ -492,6 +498,7 @@ func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire
 			cc.mu.Unlock()
 			return nil, err
 		}
+		putReplyChan(ch)
 		return replyToResults(rep)
 	case <-ctx.Done():
 		cc.forget(id)
@@ -505,6 +512,18 @@ func (cc *clientConn) forget(id uint64) {
 	cc.mu.Unlock()
 }
 
+// replyChanPool recycles the per-request reply channels. A channel is only
+// returned to the pool after its reply has been received on the clean path
+// (never after forget or connection close), so a pooled channel is always
+// open and empty.
+var replyChanPool = sync.Pool{
+	New: func() any { return make(chan *wire.Reply, 1) },
+}
+
+func getReplyChan() chan *wire.Reply { return replyChanPool.Get().(chan *wire.Reply) }
+
+func putReplyChan(ch chan *wire.Reply) { replyChanPool.Put(ch) }
+
 func (cc *clientConn) sendOneway(key, op string, args []wire.Value) error {
 	cc.mu.Lock()
 	if cc.dead {
@@ -513,11 +532,17 @@ func (cc *clientConn) sendOneway(key, op string, args []wire.Value) error {
 		return err
 	}
 	cc.mu.Unlock()
-	payload, err := wire.EncodeRequest(&wire.Request{ObjectKey: key, Operation: op, Args: args}, true)
+	req := wire.Request{ObjectKey: key, Operation: op, Args: args}
+	fb := wire.GetFrameBuffer()
+	out, err := wire.AppendRequest(fb.B, &req, true)
 	if err != nil {
+		wire.PutFrameBuffer(fb)
 		return err
 	}
-	if err := cc.writeFrame(payload, time.Time{}); err != nil {
+	fb.B = out
+	err = cc.writeFrame(fb, time.Time{})
+	wire.PutFrameBuffer(fb)
+	if err != nil {
 		cc.close(fmt.Errorf("orb: write failed: %w", err))
 		return err
 	}

@@ -42,6 +42,24 @@ func (f ServantFunc) Invoke(op string, args []wire.Value) ([]wire.Value, error) 
 	return f(op, args)
 }
 
+// FastServant is an optional Servant extension. A servant that implements
+// it (reporting true) is dispatched *inline* on its connection's read
+// goroutine: no handoff, no goroutine, the cheapest possible path. Only
+// servants that return quickly and never block may opt in — an inline
+// servant stalls every other request on its connection while it runs, and
+// one that blocks forever wedges the connection.
+type FastServant interface {
+	Servant
+	FastDispatch() bool
+}
+
+type inlineServant struct{ Servant }
+
+func (inlineServant) FastDispatch() bool { return true }
+
+// Inline marks sv as safe for inline dispatch (see FastServant).
+func Inline(sv Servant) Servant { return inlineServant{sv} }
+
 // AppError is an application-level error raised by a servant; it crosses
 // the wire with CodeApp and is reconstructed on the client as a RemoteError
 // with the same message.
@@ -89,6 +107,7 @@ type Server struct {
 type servantEntry struct {
 	servant Servant
 	iface   string // interface name for type checking ("" = unchecked)
+	inline  bool   // dispatch on the read goroutine (see FastServant)
 }
 
 // NewServer starts a server listening on the configured address. The
@@ -120,9 +139,13 @@ func (s *Server) Endpoint() string { return s.endpoint }
 // (may be "" to skip type checking even when a repository is configured).
 // Re-registering a key replaces the servant.
 func (s *Server) Register(key, iface string, sv Servant) wire.ObjRef {
+	inline := false
+	if fs, ok := sv.(FastServant); ok {
+		inline = fs.FastDispatch()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.servants[key] = &servantEntry{servant: sv, iface: iface}
+	s.servants[key] = &servantEntry{servant: sv, iface: iface, inline: inline}
 	return wire.ObjRef{Endpoint: s.endpoint, Key: key}
 }
 
@@ -193,6 +216,21 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connJob is one decoded request bound for the dispatch path.
+type connJob struct {
+	entry  *servantEntry // pre-resolved servant (nil → NO_SUCH_OBJECT)
+	req    *wire.Request
+	oneway bool
+}
+
+// serveConn reads frames off one connection and dispatches them. The hot
+// path avoids a goroutine per request: servants marked inline (FastServant)
+// run directly on the read goroutine; everything else is handed to a single
+// resident worker goroutine, and only when that worker is already busy —
+// i.e. the client is genuinely pipelining concurrent requests, or a servant
+// is slow/blocking — does a request spill into a goroutine of its own. The
+// spill keeps the seed's concurrency semantics: concurrent invocations on
+// one multiplexed connection still interleave.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -203,9 +241,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
+	var worker chan connJob // resident worker, started on first demand
+	defer func() {
+		if worker != nil {
+			close(worker)
+		}
+		reqWG.Wait()
+	}()
+	fr := wire.NewFrameReader(conn)
 	for {
-		payload, err := wire.ReadFrame(conn)
+		payload, err := fr.Next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
 				s.logf("orb: read frame: %v", err)
@@ -218,39 +263,35 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // protocol error: drop the connection
 		}
 		switch msg.Type {
-		case wire.MsgRequest:
-			reqWG.Add(1)
-			go func(req *wire.Request) {
-				defer reqWG.Done()
-				rep := s.dispatch(req)
-				out, err := wire.EncodeReply(rep)
-				if err != nil {
-					s.logf("orb: encode reply: %v", err)
-					return
-				}
-				writeMu.Lock()
-				defer writeMu.Unlock()
-				// Bound the reply write by the request's wire deadline (with
-				// a small floor so even an already-expired caller gets its
-				// DEADLINE_EXCEEDED reply rather than a hang).
-				if req.Deadline != 0 {
-					wd := time.Unix(0, req.Deadline)
-					if floor := time.Now().Add(time.Second); wd.Before(floor) {
-						wd = floor
+		case wire.MsgRequest, wire.MsgOneway:
+			job := connJob{
+				entry:  s.servantEntryFor(msg.Req.ObjectKey),
+				req:    msg.Req,
+				oneway: msg.Type == wire.MsgOneway,
+			}
+			if job.entry != nil && job.entry.inline {
+				s.handle(conn, &writeMu, job)
+				continue
+			}
+			if worker == nil {
+				worker = make(chan connJob)
+				reqWG.Add(1)
+				go func(jobs <-chan connJob) {
+					defer reqWG.Done()
+					for j := range jobs {
+						s.handle(conn, &writeMu, j)
 					}
-					_ = conn.SetWriteDeadline(wd)
-					defer func() { _ = conn.SetWriteDeadline(time.Time{}) }()
-				}
-				if err := wire.WriteFrame(conn, out); err != nil {
-					s.logf("orb: write reply: %v", err)
-				}
-			}(msg.Req)
-		case wire.MsgOneway:
-			reqWG.Add(1)
-			go func(req *wire.Request) {
-				defer reqWG.Done()
-				_ = s.dispatch(req) // no reply, errors dropped by design
-			}(msg.Req)
+				}(worker)
+			}
+			select {
+			case worker <- job:
+			default: // worker busy: spill so requests keep interleaving
+				reqWG.Add(1)
+				go func(j connJob) {
+					defer reqWG.Done()
+					s.handle(conn, &writeMu, j)
+				}(job)
+			}
 		default:
 			s.logf("orb: unexpected %s message on server connection", msg.Type)
 			return
@@ -258,17 +299,65 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// handle dispatches one request and, unless it was oneway, writes the reply
+// as a single frame from a pooled buffer.
+func (s *Server) handle(conn net.Conn, writeMu *sync.Mutex, j connJob) {
+	rep := s.dispatchEntry(j.entry, j.req)
+	if j.oneway {
+		return // no reply, errors dropped by design
+	}
+	fb := wire.GetFrameBuffer()
+	out, err := wire.AppendReply(fb.B, rep)
+	if err != nil {
+		wire.PutFrameBuffer(fb)
+		s.logf("orb: encode reply: %v", err)
+		return
+	}
+	fb.B = out
+	writeMu.Lock()
+	// Bound the reply write by the request's wire deadline (with a small
+	// floor so even an already-expired caller gets its DEADLINE_EXCEEDED
+	// reply rather than a hang).
+	if j.req.Deadline != 0 {
+		wd := time.Unix(0, j.req.Deadline)
+		if floor := time.Now().Add(time.Second); wd.Before(floor) {
+			wd = floor
+		}
+		_ = conn.SetWriteDeadline(wd)
+	}
+	err = fb.WriteFrame(conn)
+	if j.req.Deadline != 0 {
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	writeMu.Unlock()
+	wire.PutFrameBuffer(fb)
+	if err != nil {
+		s.logf("orb: write reply: %v", err)
+	}
+}
+
+// servantEntryFor resolves an object key to its servant entry (nil if none
+// is registered).
+func (s *Server) servantEntryFor(key string) *servantEntry {
+	s.mu.RLock()
+	entry := s.servants[key]
+	s.mu.RUnlock()
+	return entry
+}
+
 // dispatch routes a request to its servant, applying IDL checking when
 // configured, and converts errors into error replies.
 func (s *Server) dispatch(req *wire.Request) *wire.Reply {
+	return s.dispatchEntry(s.servantEntryFor(req.ObjectKey), req)
+}
+
+// dispatchEntry is dispatch with the servant lookup already done.
+func (s *Server) dispatchEntry(entry *servantEntry, req *wire.Request) *wire.Reply {
 	if req.Deadline != 0 && time.Now().UnixNano() > req.Deadline {
 		return &wire.Reply{ID: req.ID, ErrCode: CodeDeadline,
 			Err: fmt.Sprintf("deadline expired before dispatch of %q", req.Operation)}
 	}
-	s.mu.RLock()
-	entry, ok := s.servants[req.ObjectKey]
-	s.mu.RUnlock()
-	if !ok {
+	if entry == nil {
 		return &wire.Reply{ID: req.ID, ErrCode: CodeNoSuchObject,
 			Err: fmt.Sprintf("no object %q", req.ObjectKey)}
 	}

@@ -8,6 +8,7 @@ package trading
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -35,10 +36,24 @@ import (
 type Constraint struct {
 	src  string
 	root cexpr
+	refs map[string]struct{} // property names the expression references
 }
 
 // Source returns the original constraint text.
 func (c *Constraint) Source() string { return c.src }
+
+// PropRefs returns the sorted set of property names the constraint
+// references. The trader uses it for demand-driven snapshots: only
+// referenced dynamic properties are resolved at query time. Barewords that
+// double as string literals ("LoadAvgIncreasing == no") are included — a
+// name's role is only decided at evaluation time.
+func (c *Constraint) PropRefs() []string { return sortedRefs(c.refs) }
+
+// references reports whether the constraint mentions the property name.
+func (c *Constraint) references(name string) bool {
+	_, ok := c.refs[name]
+	return ok
+}
 
 // ParseConstraint compiles a constraint expression. An empty source
 // compiles to a constraint matching every offer.
@@ -55,7 +70,36 @@ func ParseConstraint(src string) (*Constraint, error) {
 	if p.pos != len(p.src) {
 		return nil, fmt.Errorf("trading: constraint %q: trailing input at %d", src, p.pos)
 	}
-	return &Constraint{src: src, root: root}, nil
+	refs := make(map[string]struct{})
+	collectRefs(root, refs)
+	return &Constraint{src: src, root: root, refs: refs}, nil
+}
+
+// collectRefs walks an expression tree and records every property name it
+// can read during evaluation.
+func collectRefs(e cexpr, refs map[string]struct{}) {
+	switch x := e.(type) {
+	case propExpr:
+		refs[x.name] = struct{}{}
+	case existExpr:
+		refs[x.name] = struct{}{}
+	case notExpr:
+		collectRefs(x.e, refs)
+	case negExpr:
+		collectRefs(x.e, refs)
+	case binCExpr:
+		collectRefs(x.lhs, refs)
+		collectRefs(x.rhs, refs)
+	}
+}
+
+func sortedRefs(refs map[string]struct{}) []string {
+	out := make([]string, 0, len(refs))
+	for n := range refs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // PropLookup resolves a property name during evaluation. ok=false means

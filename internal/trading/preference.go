@@ -27,6 +27,7 @@ type Preference struct {
 	src  string
 	kind prefKind
 	expr cexpr
+	refs map[string]struct{} // property names the expression references
 }
 
 type prefKind int
@@ -69,11 +70,24 @@ func ParsePreference(src string) (*Preference, error) {
 	if p.pos != len(p.src) {
 		return nil, fmt.Errorf("trading: preference %q: trailing input", src)
 	}
-	return &Preference{src: src, kind: kind, expr: e}, nil
+	refs := make(map[string]struct{})
+	collectRefs(e, refs)
+	return &Preference{src: src, kind: kind, expr: e, refs: refs}, nil
 }
 
 // Source returns the original preference text.
 func (p *Preference) Source() string { return p.src }
+
+// PropRefs returns the sorted set of property names the preference
+// expression references ("first" and "random" reference none). The trader
+// uses it for demand-driven snapshots.
+func (p *Preference) PropRefs() []string { return sortedRefs(p.refs) }
+
+// references reports whether the preference mentions the property name.
+func (p *Preference) references(name string) bool {
+	_, ok := p.refs[name]
+	return ok
+}
 
 // Sort orders results in place.
 func (p *Preference) Sort(results []QueryResult) error {

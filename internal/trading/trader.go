@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"autoadapt/internal/orb"
 	"autoadapt/internal/wire"
@@ -86,11 +88,21 @@ type Trader struct {
 	// *orb.Client; tests may stub it.
 	resolver DynamicResolver
 
+	// resolveParallel bounds how many dynamic-property resolutions a
+	// single query runs concurrently.
+	resolveParallel int
+
 	mu     sync.RWMutex
 	types  map[string]ServiceType
 	offers map[string]*Offer
 	nextID int
 }
+
+// defaultResolveParallel is the per-query fan-out bound for dynamic
+// property resolution. Monitors live on other processes, so resolution is
+// network-latency-dominated; a modest bound captures most of the win
+// without stampeding a shared monitor host.
+const defaultResolveParallel = 16
 
 // DynamicResolver fetches the current value of a dynamic property.
 type DynamicResolver interface {
@@ -123,10 +135,22 @@ func (r ClientResolver) ResolveDynamic(ctx context.Context, ref wire.ObjRef, asp
 // A nil resolver makes every dynamic property evaluate as missing.
 func NewTrader(resolver DynamicResolver) *Trader {
 	return &Trader{
-		resolver: resolver,
-		types:    make(map[string]ServiceType),
-		offers:   make(map[string]*Offer),
+		resolver:        resolver,
+		resolveParallel: defaultResolveParallel,
+		types:           make(map[string]ServiceType),
+		offers:          make(map[string]*Offer),
 	}
+}
+
+// SetResolveParallel bounds how many dynamic properties one query resolves
+// concurrently. n <= 1 forces serial resolution.
+func (t *Trader) SetResolveParallel(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	t.resolveParallel = n
 }
 
 // AddType registers a service type. Re-adding a name replaces it.
@@ -215,35 +239,60 @@ func (t *Trader) OfferCount() int {
 // preference. maxResults <= 0 means unlimited. Offers whose constraint
 // evaluation fails (missing property, unreachable dynamic property) are
 // skipped, per OMG trader semantics.
+//
+// Snapshots are demand-driven: static properties are always included, but
+// dynamic properties are resolved only when the constraint or preference
+// references them by name. Identical monitor calls — same object, same
+// aspect — are resolved once per query and the value shared, and distinct
+// resolutions fan out across a bounded worker pool (SetResolveParallel).
+// Memoization is per-query only, so repeated queries still observe fresh
+// monitor values.
 func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference string, maxResults int) ([]QueryResult, error) {
-	cons, err := ParseConstraint(constraint)
+	cons, err := cachedConstraint(constraint)
 	if err != nil {
 		return nil, err
 	}
-	pref, err := ParsePreference(preference)
+	pref, err := cachedPreference(preference)
 	if err != nil {
 		return nil, err
 	}
+	sc := getQueryScratch()
+	defer putQueryScratch(sc)
 	t.mu.RLock()
 	if _, ok := t.types[serviceType]; !ok {
 		t.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownServiceType, serviceType)
 	}
-	candidates := make([]*Offer, 0, len(t.offers))
+	workers := t.resolveParallel
+	// Capture each candidate's Props map pointer while holding the lock.
+	// Export and Modify install a fresh map and never mutate a published
+	// one, and an offer's other fields are immutable after export, so the
+	// captured pair stays consistent after the lock is released even if a
+	// concurrent Modify swaps in replacement properties.
+	candidates := sc.candidates[:0]
 	for _, o := range t.offers {
 		if o.ServiceType == serviceType {
-			candidates = append(candidates, o)
+			candidates = append(candidates, offerView{o: o, props: o.Props})
 		}
 	}
 	t.mu.RUnlock()
+	sc.candidates = candidates
 	// Deterministic base order (offer export order) before preferences.
-	sort.Slice(candidates, func(i, j int) bool {
-		return offerSeq(candidates[i].ID) < offerSeq(candidates[j].ID)
-	})
+	// Sort a permutation rather than the candidates themselves: swapping
+	// indices is cheaper, and the sequence numbers are parsed once instead
+	// of on every comparison.
+	order, seqs := sc.order[:0], sc.seqs[:0]
+	for i := range candidates {
+		order = append(order, i)
+		seqs = append(seqs, offerSeq(candidates[i].o.ID))
+	}
+	sc.order, sc.seqs = order, seqs
+	sort.Slice(order, func(i, j int) bool { return seqs[order[i]] < seqs[order[j]] })
 
+	snaps := t.snapshotAll(ctx, candidates, cons, pref, workers, sc)
 	matched := make([]QueryResult, 0, len(candidates))
-	for _, o := range candidates {
-		snap := t.snapshot(ctx, o)
+	for _, ci := range order {
+		snap := snaps[ci]
 		lookup := func(name string) (wire.Value, bool) {
 			v, ok := snap[name]
 			return v, ok
@@ -252,7 +301,16 @@ func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference 
 		if err != nil || !ok {
 			continue
 		}
-		matched = append(matched, QueryResult{Offer: *o, Snapshot: snap})
+		c := candidates[ci]
+		matched = append(matched, QueryResult{
+			Offer: Offer{
+				ID:          c.o.ID,
+				ServiceType: c.o.ServiceType,
+				Ref:         c.o.Ref,
+				Props:       c.props,
+			},
+			Snapshot: snap,
+		})
 	}
 	if err := pref.Sort(matched); err != nil {
 		return nil, err
@@ -268,24 +326,297 @@ func offerSeq(id string) int {
 	return n
 }
 
-// snapshot resolves every property of an offer to a concrete value.
-// Unreachable dynamic properties are simply absent from the snapshot, so
-// constraints referencing them fail for this offer only.
-func (t *Trader) snapshot(ctx context.Context, o *Offer) map[string]wire.Value {
-	snap := make(map[string]wire.Value, len(o.Props))
-	for name, pv := range o.Props {
-		if !pv.IsDynamic() {
-			snap[name] = pv.Static
-			continue
-		}
-		if t.resolver == nil {
-			continue
-		}
-		v, err := t.resolver.ResolveDynamic(ctx, pv.Dynamic, pv.Aspect)
-		if err != nil {
-			continue
-		}
-		snap[name] = v
+// offerView pairs an offer with the Props map captured under the trader
+// lock, pinning a consistent property set for the rest of the query.
+type offerView struct {
+	o     *Offer
+	props map[string]PropValue
+}
+
+// pendingProp records that one offer property awaits one task's result.
+type pendingProp struct {
+	offer int // index into offers/snaps
+	name  string
+	task  int // index into tasks
+}
+
+// queryScratch is the recyclable working set of one query. Queries churn
+// through several short-lived slices (candidate views, sort permutations,
+// resolve tasks and results); pooling them keeps steady-state allocation
+// roughly proportional to the result set instead of the offer database.
+// Snapshot maps are NOT pooled — they escape into QueryResults.
+type queryScratch struct {
+	candidates []offerView
+	order      []int
+	seqs       []int
+	tasks      []resolveTask
+	pend       []pendingProp
+	results    []resolveResult
+	snaps      []map[string]wire.Value
+	ti         taskIndex
+}
+
+// maxScratchEntries bounds the capacities a pooled scratch may retain, so
+// one huge query does not pin its working set for the life of the process.
+const maxScratchEntries = 1 << 14
+
+var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getQueryScratch() *queryScratch { return queryScratchPool.Get().(*queryScratch) }
+
+func putQueryScratch(sc *queryScratch) {
+	if cap(sc.candidates) > maxScratchEntries || cap(sc.pend) > maxScratchEntries {
+		return // oversized: let the GC reclaim the whole scratch
 	}
-	return snap
+	// Drop references so a pooled scratch does not pin offers, snapshot
+	// maps, or resolved values between queries.
+	clear(sc.candidates[:cap(sc.candidates)])
+	clear(sc.tasks[:cap(sc.tasks)])
+	clear(sc.pend[:cap(sc.pend)])
+	clear(sc.results[:cap(sc.results)])
+	clear(sc.snaps[:cap(sc.snaps)])
+	queryScratchPool.Put(sc)
+}
+
+// resolveTask is one monitor interrogation: distinct offers whose dynamic
+// properties point at the same object and aspect share a single task
+// within a query. hash caches the key hash for the dedup index.
+type resolveTask struct {
+	ref    wire.ObjRef
+	aspect string
+	hash   uint64
+}
+
+// taskIndex is an open-addressing hash index over a resolveTask slice,
+// deduplicating (ref, aspect) keys without a per-entry allocation: slots
+// hold 1-based task indices and key data lives in the tasks themselves.
+type taskIndex struct {
+	slots []int32
+	mask  uint64
+	n     int
+}
+
+// reset prepares the index for about hint keys, reusing the slot table
+// from a previous query when it is already large enough.
+func (ti *taskIndex) reset(hint int) {
+	size := 16
+	for size < 2*hint {
+		size <<= 1
+	}
+	if len(ti.slots) < size {
+		ti.slots = make([]int32, size)
+	} else {
+		clear(ti.slots)
+	}
+	ti.mask = uint64(len(ti.slots) - 1)
+	ti.n = 0
+}
+
+// lookup returns the index of the task matching (h, ref, aspect), or -1.
+func (ti *taskIndex) lookup(tasks []resolveTask, h uint64, ref wire.ObjRef, aspect string) int {
+	for i := h & ti.mask; ; i = (i + 1) & ti.mask {
+		s := ti.slots[i]
+		if s == 0 {
+			return -1
+		}
+		t := &tasks[s-1]
+		if t.hash == h && t.ref == ref && t.aspect == aspect {
+			return int(s - 1)
+		}
+	}
+}
+
+// insert records task idx (which must already be in tasks), growing the
+// table when it passes half full.
+func (ti *taskIndex) insert(tasks []resolveTask, idx int) {
+	if 2*(ti.n+1) > len(ti.slots) {
+		bigger := &taskIndex{
+			slots: make([]int32, 2*len(ti.slots)),
+			mask:  uint64(2*len(ti.slots) - 1),
+		}
+		for _, s := range ti.slots {
+			if s != 0 {
+				bigger.place(tasks[s-1].hash, s)
+			}
+		}
+		ti.slots, ti.mask = bigger.slots, bigger.mask
+	}
+	ti.place(tasks[idx].hash, int32(idx+1))
+	ti.n++
+}
+
+func (ti *taskIndex) place(h uint64, slot int32) {
+	i := h & ti.mask
+	for ti.slots[i] != 0 {
+		i = (i + 1) & ti.mask
+	}
+	ti.slots[i] = slot
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// Field separator so ("ab","c") and ("a","bc") hash differently.
+	h ^= 0xff
+	h *= fnvPrime64
+	return h
+}
+
+func hashResolveKey(ref wire.ObjRef, aspect string) uint64 {
+	h := fnvString(fnvOffset64, ref.Endpoint)
+	h = fnvString(h, ref.Key)
+	return fnvString(h, aspect)
+}
+
+type resolveResult struct {
+	v   wire.Value
+	err error
+}
+
+// snapshotAll builds one property snapshot per offer. Static properties
+// are copied directly; dynamic properties are resolved only if the
+// constraint or preference references their name, with identical monitor
+// calls deduplicated across all offers and fanned out over resolveAll.
+// Unreachable dynamic properties are simply absent from the snapshot, so
+// constraints referencing them fail for that offer only.
+func (t *Trader) snapshotAll(ctx context.Context, offers []offerView, cons *Constraint, pref *Preference, workers int, sc *queryScratch) []map[string]wire.Value {
+	snaps := sc.snaps[:0]
+	// The dynamic-path structures are initialized lazily so purely static
+	// queries pay nothing for them.
+	var (
+		tasks []resolveTask
+		pend  []pendingProp
+		ti    *taskIndex
+	)
+	for i := range offers {
+		props := offers[i].props
+		snap := make(map[string]wire.Value, len(props))
+		snaps = append(snaps, snap)
+		for name, pv := range props {
+			if !pv.IsDynamic() {
+				snap[name] = pv.Static
+				continue
+			}
+			if t.resolver == nil || (!cons.references(name) && !pref.references(name)) {
+				continue
+			}
+			if ti == nil {
+				tasks, pend = sc.tasks[:0], sc.pend[:0]
+				ti = &sc.ti
+				// Offers in the paper's scenario carry ~2 referenced
+				// dynamic props each (a monitor value plus an aspect).
+				ti.reset(2 * len(offers))
+			}
+			h := hashResolveKey(pv.Dynamic, pv.Aspect)
+			idx := ti.lookup(tasks, h, pv.Dynamic, pv.Aspect)
+			if idx < 0 {
+				idx = len(tasks)
+				tasks = append(tasks, resolveTask{ref: pv.Dynamic, aspect: pv.Aspect, hash: h})
+				ti.insert(tasks, idx)
+			}
+			pend = append(pend, pendingProp{offer: i, name: name, task: idx})
+		}
+	}
+	sc.snaps = snaps
+	if ti != nil {
+		sc.tasks, sc.pend = tasks, pend
+	}
+	results := t.resolveAll(ctx, tasks, workers, sc)
+	for _, p := range pend {
+		if r := results[p.task]; r.err == nil {
+			snaps[p.offer][p.name] = r.v
+		}
+	}
+	return snaps
+}
+
+// serialResolveBudget is how long resolveAll works serially before fanning
+// out. In-process or stubbed monitors resolve a whole task list inside the
+// budget without paying for a single goroutine; remote monitors blow
+// through it after a couple of calls and the remainder goes parallel.
+const serialResolveBudget = 100 * time.Microsecond
+
+// resolveAll fetches every task's current value. It starts serially under
+// serialResolveBudget, then fans the remaining tasks out across up to
+// workers goroutines. Parallel work is handed out in contiguous chunks off
+// an atomic counter: fast monitors do not idle behind slow ones, the
+// counter is touched once per chunk rather than once per task, and each
+// worker writes a contiguous run of results, avoiding cache-line ping-pong
+// when resolutions are cheap.
+func (t *Trader) resolveAll(ctx context.Context, tasks []resolveTask, workers int, sc *queryScratch) []resolveResult {
+	// Every index in results is written below before it is read, so a
+	// recycled slice needs no clearing here.
+	var results []resolveResult
+	if cap(sc.results) >= len(tasks) {
+		results = sc.results[:len(tasks)]
+	} else {
+		results = make([]resolveResult, len(tasks))
+		sc.results = results
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	start := 0
+	if workers > 1 {
+		begin := time.Now()
+		for ; start < len(tasks); start++ {
+			// The clock check runs per-task for the first 8 tasks so one
+			// slow remote resolution escapes to the parallel path at once,
+			// then amortizes over 8 tasks to stay out of the fast path.
+			if start > 0 && (start < 8 || start%8 == 0) && time.Since(begin) > serialResolveBudget {
+				break
+			}
+			task := &tasks[start]
+			results[start].v, results[start].err = t.resolver.ResolveDynamic(ctx, task.ref, task.aspect)
+		}
+	} else {
+		for i := range tasks {
+			results[i].v, results[i].err = t.resolver.ResolveDynamic(ctx, tasks[i].ref, tasks[i].aspect)
+		}
+		return results
+	}
+	rest := len(tasks) - start
+	if rest <= 0 {
+		return results
+	}
+	if workers > rest {
+		workers = rest
+	}
+	chunk := rest / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	} else if chunk > 64 {
+		chunk = 64
+	}
+	var next atomic.Int64
+	next.Store(int64(start))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= len(tasks) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(tasks) {
+					hi = len(tasks)
+				}
+				for i := lo; i < hi; i++ {
+					results[i].v, results[i].err = t.resolver.ResolveDynamic(ctx, tasks[i].ref, tasks[i].aspect)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }

@@ -4,21 +4,26 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"autoadapt/internal/orb"
 	"autoadapt/internal/wire"
 )
 
 // stubResolver serves dynamic property values from a map keyed by
-// "endpoint/key#aspect".
+// "endpoint/key#aspect". The trader may resolve concurrently, so the call
+// counter is atomic.
 type stubResolver struct {
 	values map[string]wire.Value
-	calls  int
+	calls  atomic.Int64
 }
 
 func (s *stubResolver) ResolveDynamic(_ context.Context, ref wire.ObjRef, aspect string) (wire.Value, error) {
-	s.calls++
+	s.calls.Add(1)
 	v, ok := s.values[ref.String()+"#"+aspect]
 	if !ok {
 		return wire.Nil(), errors.New("unreachable monitor")
@@ -443,5 +448,275 @@ func TestResultsFromWireErrors(t *testing.T) {
 	noRef.Append(wire.TableVal(entry))
 	if _, err := ResultsFromWire(wire.TableVal(noRef)); err == nil {
 		t.Fatal("entry without ref accepted")
+	}
+}
+
+// TestQueryMemoizesIdenticalMonitorCalls verifies that within one query,
+// offers whose dynamic properties point at the same (object, aspect) share
+// a single monitor interrogation — and that the memo does NOT outlive the
+// query, so a repeat query observes fresh values.
+func TestQueryMemoizesIdenticalMonitorCalls(t *testing.T) {
+	res := &stubResolver{values: map[string]wire.Value{}}
+	tr := NewTrader(res)
+	tr.AddType(ServiceType{Name: "S"})
+	// Four offers on the same host share one monitor: 4 offers x 2 props,
+	// but only 2 distinct (ref, aspect) keys.
+	shared := monitorRef(0)
+	res.values[shared.String()+"#"] = wire.Number(1)
+	res.values[shared.String()+"#Increasing"] = wire.String("no")
+	for i := 0; i < 4; i++ {
+		_, err := tr.Export("S", serverRef(i), map[string]PropValue{
+			"LoadAvg":           {Dynamic: shared},
+			"LoadAvgIncreasing": {Dynamic: shared, Aspect: "Increasing"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := tr.Query(context.Background(), "S",
+		"LoadAvg < 5 and LoadAvgIncreasing == no", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("matched %d offers, want 4", len(rs))
+	}
+	if got := res.calls.Load(); got != 2 {
+		t.Fatalf("resolver calls = %d, want 2 (memoized per distinct key)", got)
+	}
+	// Freshness: a second query re-resolves instead of reusing the memo.
+	res.values[shared.String()+"#"] = wire.Number(4)
+	rs, err = tr.Query(context.Background(), "S", "LoadAvg == 4", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("second query matched %d offers, want 4 (stale memo?)", len(rs))
+	}
+	if got := res.calls.Load(); got != 3 {
+		t.Fatalf("resolver calls after second query = %d, want 3", got)
+	}
+}
+
+// TestDemandDrivenSnapshotSkipsUnreferencedDynamics verifies the trader
+// only interrogates monitors for dynamic properties the constraint or
+// preference actually references; unreferenced dynamics are absent from
+// the snapshot while statics are always present.
+func TestDemandDrivenSnapshotSkipsUnreferencedDynamics(t *testing.T) {
+	res := &stubResolver{values: map[string]wire.Value{}}
+	tr := NewTrader(res)
+	tr.AddType(ServiceType{Name: "S"})
+	res.values[monitorRef(0).String()+"#"] = wire.Number(2)
+	res.values[monitorRef(1).String()+"#"] = wire.Number(9)
+	_, err := tr.Export("S", serverRef(0), map[string]PropValue{
+		"LoadAvg": {Dynamic: monitorRef(0)},
+		"MemFree": {Dynamic: monitorRef(1)}, // never referenced below
+		"Region":  {Static: wire.String("lab-1")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tr.Query(context.Background(), "S", "LoadAvg < 5", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("matched %d offers", len(rs))
+	}
+	snap := rs[0].Snapshot
+	if _, present := snap["MemFree"]; present {
+		t.Fatal("unreferenced dynamic property was resolved into the snapshot")
+	}
+	if snap["Region"].Str() != "lab-1" {
+		t.Fatalf("static property missing from snapshot: %v", snap)
+	}
+	if snap["LoadAvg"].Num() != 2 {
+		t.Fatalf("referenced dynamic property = %v", snap["LoadAvg"])
+	}
+	if got := res.calls.Load(); got != 1 {
+		t.Fatalf("resolver calls = %d, want 1 (MemFree should not be fetched)", got)
+	}
+	// A preference reference also counts as demand.
+	rs, err = tr.Query(context.Background(), "S", "", "min MemFree", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Snapshot["MemFree"].Num() != 9 {
+		t.Fatalf("preference-referenced dynamic not resolved: %v", rs[0].Snapshot)
+	}
+}
+
+// TestQueryResolvesInParallel drives the resolver slow enough to exhaust
+// the serial warm-up budget and checks that resolutions then overlap.
+func TestQueryResolvesInParallel(t *testing.T) {
+	var inflight, peak atomic.Int64
+	res := &slowResolver{inflight: &inflight, peak: &peak}
+	tr := NewTrader(res)
+	tr.SetResolveParallel(8)
+	tr.AddType(ServiceType{Name: "S"})
+	for i := 0; i < 32; i++ {
+		_, err := tr.Export("S", serverRef(i), map[string]PropValue{
+			"LoadAvg": {Dynamic: monitorRef(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := tr.Query(context.Background(), "S", "LoadAvg >= 0", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 32 {
+		t.Fatalf("matched %d offers, want 32", len(rs))
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrent resolutions = %d, want >= 2", peak.Load())
+	}
+}
+
+// slowResolver takes ~1ms per call and records peak concurrency.
+type slowResolver struct {
+	inflight, peak *atomic.Int64
+}
+
+func (s *slowResolver) ResolveDynamic(context.Context, wire.ObjRef, string) (wire.Value, error) {
+	n := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	for {
+		p := s.peak.Load()
+		if n <= p || s.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond)
+	return wire.Number(1), nil
+}
+
+// TestQueryDuringModifyNoRace hammers Query concurrently with Modify,
+// Export and Withdraw. Under -race this exercises the snapshot/Modify
+// race the value-copy capture fixes (a snapshot must never observe a
+// Props map mid-swap).
+func TestQueryDuringModifyNoRace(t *testing.T) {
+	tr, _ := newLoadedTrader([]float64{10, 20, 30, 40}, []bool{false, false, false, false})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := fmt.Sprintf("offer-%d", 1+i%4)
+			_ = tr.Modify(id, map[string]PropValue{
+				"LoadAvg":           {Static: wire.Number(float64(i % 100))},
+				"LoadAvgIncreasing": {Static: wire.String("no")},
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, err := tr.Export("LoadShared", serverRef(100+i), map[string]PropValue{
+				"LoadAvg": {Static: wire.Number(50)},
+			})
+			if err == nil {
+				_ = tr.Withdraw(id)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rs, err := tr.Query(context.Background(), "LoadShared",
+				"LoadAvg < 50 and LoadAvgIncreasing == no", "min LoadAvg", 0)
+			if err != nil {
+				panic(err)
+			}
+			for _, r := range rs {
+				// Touch the snapshot and offer props: a torn map would
+				// trip the race detector here.
+				_ = r.Snapshot["LoadAvg"]
+				_ = len(r.Offer.Props)
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestCompiledQueryCaching verifies the compile-once cache: the same
+// constraint and preference sources reuse one compiled object, and parse
+// failures are reported every time rather than cached.
+func TestCompiledQueryCaching(t *testing.T) {
+	c1, err := cachedConstraint("LoadAvg < 50 and LoadAvgIncreasing == no")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cachedConstraint("LoadAvg < 50 and LoadAvgIncreasing == no")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("same constraint source compiled twice")
+	}
+	p1, err := cachedPreference("min LoadAvg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cachedPreference("min LoadAvg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("same preference source compiled twice")
+	}
+	if _, err := cachedConstraint("x =="); err == nil {
+		t.Fatal("bad constraint cached as success")
+	}
+	if _, err := cachedConstraint("x =="); err == nil {
+		t.Fatal("bad constraint accepted on second lookup")
+	}
+}
+
+// TestPropRefs checks the referenced-name sets the demand-driven snapshot
+// machinery relies on.
+func TestPropRefs(t *testing.T) {
+	c, err := ParseConstraint("LoadAvg < 50 and not (exist Down or Mem + 1 > 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Down", "LoadAvg", "Mem"}
+	if got := c.PropRefs(); !slices.Equal(got, want) {
+		t.Fatalf("constraint PropRefs = %v, want %v", got, want)
+	}
+	p, err := ParsePreference("min LoadAvg / Weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PropRefs(); !slices.Equal(got, []string{"LoadAvg", "Weight"}) {
+		t.Fatalf("preference PropRefs = %v", got)
+	}
+	for _, src := range []string{"", "first", "random"} {
+		p, err := ParsePreference(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.PropRefs(); len(got) != 0 {
+			t.Fatalf("PropRefs(%q) = %v, want empty", src, got)
+		}
 	}
 }

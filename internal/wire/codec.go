@@ -270,17 +270,19 @@ func EncodeValue(v Value) ([]byte, error) {
 	return AppendValue(nil, v)
 }
 
-// WriteFrame writes a length-prefixed frame containing payload to w.
+// WriteFrame writes a length-prefixed frame containing payload to w. The
+// header and payload go out in a single Write, so a frame is one syscall
+// and cannot be torn in half by a mid-frame write deadline. Callers on hot
+// paths avoid the payload copy by encoding straight into a FrameBuffer and
+// calling its WriteFrame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	fb := GetFrameBuffer()
+	fb.B = append(fb.B, payload...)
+	err := fb.WriteFrame(w)
+	PutFrameBuffer(fb)
 	return err
 }
 

@@ -56,13 +56,19 @@ type Reply struct {
 }
 
 // EncodeRequest encodes a request (or oneway, if oneway is true) into a
-// frame payload.
+// fresh frame payload. Hot paths use AppendRequest with a pooled buffer.
 func EncodeRequest(req *Request, oneway bool) ([]byte, error) {
+	return AppendRequest(nil, req, oneway)
+}
+
+// AppendRequest appends the encoding of a request (or oneway, if oneway is
+// true) to dst and returns the extended slice.
+func AppendRequest(dst []byte, req *Request, oneway bool) ([]byte, error) {
 	mt := MsgRequest
 	if oneway {
 		mt = MsgOneway
 	}
-	buf := []byte{byte(mt)}
+	buf := append(dst, byte(mt))
 	buf = appendUint64(buf, req.ID)
 	buf = appendUint64(buf, uint64(req.Deadline))
 	buf = appendString(buf, req.ObjectKey)
@@ -78,13 +84,20 @@ func EncodeRequest(req *Request, oneway bool) ([]byte, error) {
 	return buf, nil
 }
 
-// EncodeReply encodes a reply frame payload.
+// EncodeReply encodes a reply into a fresh frame payload. Hot paths use
+// AppendReply with a pooled buffer.
 func EncodeReply(rep *Reply) ([]byte, error) {
+	return AppendReply(nil, rep)
+}
+
+// AppendReply appends the encoding of a reply to dst and returns the
+// extended slice.
+func AppendReply(dst []byte, rep *Reply) ([]byte, error) {
 	mt := MsgReply
 	if rep.Err != "" {
 		mt = MsgErrorReply
 	}
-	buf := []byte{byte(mt)}
+	buf := append(dst, byte(mt))
 	buf = appendUint64(buf, rep.ID)
 	if rep.Err != "" {
 		buf = appendString(buf, rep.ErrCode)
