@@ -30,12 +30,15 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"autoadapt/internal/agent"
+	"autoadapt/internal/baseline"
 	"autoadapt/internal/core"
 	"autoadapt/internal/idl"
 	"autoadapt/internal/monitor"
 	"autoadapt/internal/orb"
+	"autoadapt/internal/rebind"
 	"autoadapt/internal/trading"
 	"autoadapt/internal/wire"
 )
@@ -70,6 +73,9 @@ type (
 	PropValue = trading.PropValue
 	// QueryResult is one trader match.
 	QueryResult = trading.QueryResult
+	// Rebinder is a self-healing service binding that re-queries the
+	// trader when its bound server dies (see internal/rebind).
+	Rebinder = rebind.Rebinder
 )
 
 // TCP is the production transport.
@@ -89,6 +95,13 @@ type TraderOptions struct {
 	// CheckIDL, when true, loads the monitor/trader IDL into an interface
 	// repository and type-checks inbound trader calls.
 	CheckIDL bool
+	// LeaseTTL, when positive, makes exported offers leases: an exporter
+	// must renew within the TTL or the offer stops matching and is
+	// eventually reaped. 0 (the default) keeps offers alive forever.
+	LeaseTTL time.Duration
+	// ReapInterval is how often expired offers are garbage-collected when
+	// LeaseTTL is set. Default LeaseTTL/3.
+	ReapInterval time.Duration
 	// Logger for connection diagnostics.
 	Logger *log.Logger
 }
@@ -98,8 +111,9 @@ type TraderHandle struct {
 	Trader *trading.Trader
 	Ref    ObjRef
 
-	server *orb.Server
-	client *orb.Client
+	server     *orb.Server
+	client     *orb.Client
+	stopReaper func()
 }
 
 // StartTrader runs a trading service on the given transport. Dynamic
@@ -137,14 +151,26 @@ func StartTrader(opts TraderOptions) (*TraderHandle, error) {
 		iface = "Trader"
 	}
 	ref := srv.Register(trading.DefaultObjectKey, iface, trading.NewServant(tr))
-	return &TraderHandle{Trader: tr, Ref: ref, server: srv, client: client}, nil
+	h := &TraderHandle{Trader: tr, Ref: ref, server: srv, client: client}
+	if opts.LeaseTTL > 0 {
+		tr.SetLeaseTTL(opts.LeaseTTL)
+		interval := opts.ReapInterval
+		if interval <= 0 {
+			interval = opts.LeaseTTL / 3
+		}
+		h.stopReaper = tr.StartReaper(interval)
+	}
+	return h, nil
 }
 
 // Endpoint returns the trader's endpoint string.
 func (t *TraderHandle) Endpoint() string { return t.server.Endpoint() }
 
-// Close stops the trader.
+// Close stops the trader (and its offer reaper, when leasing is on).
 func (t *TraderHandle) Close() error {
+	if t.stopReaper != nil {
+		t.stopReaper()
+	}
 	err := t.server.Close()
 	if cerr := t.client.Close(); err == nil {
 		err = cerr
@@ -190,6 +216,14 @@ func (p *Platform) NewSmartProxy(opts ProxyOptions) (*SmartProxy, error) {
 		opts.ObserverServer = p.ObserverServer
 	}
 	return core.New(opts)
+}
+
+// NewRebinder creates a self-healing binding for the given service type:
+// invocations go to the best matching offer and, when that server dies,
+// automatically rebind through the trader (whose leases have pruned dead
+// offers). preference defaults to "min LoadAvg".
+func (p *Platform) NewRebinder(serviceType, constraint, preference string) *Rebinder {
+	return baseline.NewRebinding(p.Client, p.Lookup, serviceType, constraint, preference)
 }
 
 // Close tears the platform down.

@@ -6,6 +6,8 @@
 //
 //	adaptctl -trader 'tcp|127.0.0.1:9050/Trader' types
 //	adaptctl -trader ... query LoadShared "LoadAvg < 2" "min LoadAvg"
+//	adaptctl -trader ... renew offer-3        # extend an offer's lease
+//	adaptctl -breaker-threshold 3 invoke ...  # fail fast on dead endpoints
 //	adaptctl invoke 'tcp|127.0.0.1:41234/service' hello
 //	adaptctl invoke 'tcp|host:port/service' work 0.25
 //	adaptctl monitor 'tcp|host:port/monitor/LoadAvg'
@@ -41,10 +43,12 @@ func run() error {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-invocation deadline (0 disables)")
 	retries := flag.Int("retries", 3, "max invocation attempts on connection faults")
 	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt)")
+	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive endpoint failures that open the circuit breaker (0 disables)")
+	brkCooldown := flag.Duration("breaker-cooldown", time.Second, "how long an open circuit waits before probing the endpoint again")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: adaptctl [flags] types|query|invoke|monitor|aspect|define ...")
+		return fmt.Errorf("usage: adaptctl [flags] types|query|renew|invoke|monitor|aspect|define ...")
 	}
 
 	client := orb.NewClientOpts(orb.ClientOptions{
@@ -53,6 +57,10 @@ func run() error {
 			MaxAttempts: *retries,
 			BaseBackoff: *backoff,
 			Jitter:      0.2,
+		},
+		Breaker: orb.BreakerPolicy{
+			Threshold: *brkThreshold,
+			Cooldown:  *brkCooldown,
 		},
 		InvokeTimeout: *timeout,
 	})
@@ -105,6 +113,20 @@ func run() error {
 				fmt.Printf("    %-20s %s\n", name, v)
 			}
 		}
+		return nil
+	case "renew":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: adaptctl renew <offer-id>")
+		}
+		ref, err := wire.ParseObjRef(*traderRef)
+		if err != nil {
+			return err
+		}
+		lookup := trading.NewLookup(client, ref)
+		if err := lookup.Renew(ctx, args[1]); err != nil {
+			return err
+		}
+		fmt.Println("lease renewed")
 		return nil
 	case "invoke":
 		if len(args) < 3 {

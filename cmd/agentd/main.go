@@ -47,6 +47,7 @@ func run() error {
 		name      = flag.String("name", "", "host name (defaults to the listen endpoint)")
 		loadSpec  = flag.String("load", "proc", `load source: "proc", "proc:<path>", or "sim:<value>"`)
 		period    = flag.Duration("period", time.Minute, "monitor update period (paper: 60s)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "trader's offer lease TTL; enables the renewal heartbeat (0 disables)")
 		config    = flag.String("config", "", "AdaptScript agent configuration file")
 	)
 	flag.Parse()
@@ -99,6 +100,7 @@ func run() error {
 		Servant:       servant,
 		LoadSource:    source,
 		MonitorPeriod: *period,
+		LeaseTTL:      *leaseTTL,
 		ConfigScript:  configSrc,
 		StaticProps:   map[string]wire.Value{"Host": wire.String(hostName)},
 		Logger:        log.New(os.Stderr, "agentd ", log.LstdFlags),

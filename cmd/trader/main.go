@@ -38,9 +38,11 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", "127.0.0.1:9050", "TCP address to listen on")
-		check  = flag.Bool("check-idl", true, "type-check trader operations against the IDL")
-		types  typeList
+		listen   = flag.String("listen", "127.0.0.1:9050", "TCP address to listen on")
+		check    = flag.Bool("check-idl", true, "type-check trader operations against the IDL")
+		leaseTTL = flag.Duration("lease-ttl", 0, "offer lease TTL; unrenewed offers expire (0 disables leasing)")
+		reap     = flag.Duration("reap-interval", 0, "how often expired offers are collected (default lease-ttl/3)")
+		types    typeList
 	)
 	flag.Var(&types, "type", "service type to register (repeatable)")
 	flag.Parse()
@@ -56,11 +58,13 @@ func run() error {
 		})
 	}
 	h, err := autoadapt.StartTrader(autoadapt.TraderOptions{
-		Network:  autoadapt.TCP(),
-		Address:  *listen,
-		Types:    sts,
-		CheckIDL: *check,
-		Logger:   log.New(os.Stderr, "trader ", log.LstdFlags),
+		Network:      autoadapt.TCP(),
+		Address:      *listen,
+		Types:        sts,
+		CheckIDL:     *check,
+		LeaseTTL:     *leaseTTL,
+		ReapInterval: *reap,
+		Logger:       log.New(os.Stderr, "trader ", log.LstdFlags),
 	})
 	if err != nil {
 		return err
@@ -69,6 +73,9 @@ func run() error {
 
 	fmt.Printf("trading service ready\n  endpoint:  %s\n  reference: %s\n  types:     %v\n",
 		h.Endpoint(), h.Ref, types)
+	if *leaseTTL > 0 {
+		fmt.Printf("  leases:    %v TTL (agents must renew; see agentd -lease-ttl)\n", *leaseTTL)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"autoadapt/internal/clock"
@@ -72,6 +73,11 @@ type Options struct {
 	// InvokeTimeout bounds each of the owned client's invocations
 	// (0 = unbounded). Ignored when NotifyClient is supplied.
 	InvokeTimeout time.Duration
+	// LeaseTTL, when positive, must match the trader's offer lease TTL:
+	// the agent then runs a background heartbeat renewing the offer at
+	// roughly a third of the TTL (jittered), and re-exports the offer
+	// from scratch if the trader forgot it. 0 disables the heartbeat.
+	LeaseTTL time.Duration
 }
 
 // Agent is a running service agent.
@@ -79,11 +85,22 @@ type Agent struct {
 	opts        Options
 	server      *orb.Server
 	mon         *monitor.Monitor
-	offerID     string
 	ownedClient *orb.Client
 	svcRef      wire.ObjRef
 	monRef      wire.ObjRef
 	extraProps  map[string]trading.PropValue
+
+	// exportProps is the full property map the offer was exported with,
+	// kept so the heartbeat can re-export an offer the trader forgot.
+	// Immutable after Start.
+	exportProps map[string]trading.PropValue
+
+	mu      sync.Mutex
+	offerID string
+	closed  bool
+	health  Health
+	hbStop  chan struct{} // closed by Close to stop the heartbeat
+	hbDone  chan struct{} // closed by the heartbeat on exit
 }
 
 // Start brings the agent up: server, monitor, config script, offer export.
@@ -171,6 +188,13 @@ func Start(ctx context.Context, opts Options) (*Agent, error) {
 		return nil, fmt.Errorf("agent: export offer: %w", err)
 	}
 	a.offerID = id
+	a.exportProps = props
+	a.health.LastRenewal = opts.Clock.Now()
+	if opts.LeaseTTL > 0 {
+		a.hbStop = make(chan struct{})
+		a.hbDone = make(chan struct{})
+		go a.heartbeat(opts.LeaseTTL)
+	}
 	ok = true
 	return a, nil
 }
@@ -190,8 +214,13 @@ func (a *Agent) MonitorRef() wire.ObjRef { return a.monRef }
 // Monitor returns the agent's load monitor.
 func (a *Agent) Monitor() *monitor.Monitor { return a.mon }
 
-// OfferID returns the exported offer id.
-func (a *Agent) OfferID() string { return a.offerID }
+// OfferID returns the current offer id (it changes if the heartbeat had
+// to re-export after a trader restart).
+func (a *Agent) OfferID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.offerID
+}
 
 // Endpoint returns the agent's server endpoint.
 func (a *Agent) Endpoint() string { return a.server.Endpoint() }
@@ -242,14 +271,38 @@ func (a *Agent) RunConfigScript(src string) error {
 	return nil
 }
 
-// Close withdraws the offer and shuts everything down.
+// withdrawTimeout bounds the offer withdrawal during Close. The withdraw
+// deliberately does not run under the caller's ctx: Close is most often
+// called with an already-canceled or expiring context during teardown,
+// and aborting the withdraw would strand a stale offer in the trader.
+const withdrawTimeout = 2 * time.Second
+
+// Close stops the heartbeat, withdraws the offer (bounded by its own
+// short timeout, independent of ctx — see withdrawTimeout), and shuts
+// everything down. It is idempotent and safe to call concurrently; late
+// callers return nil once shutdown has begun.
 func (a *Agent) Close(ctx context.Context) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	id := a.offerID
+	a.offerID = ""
+	hbStop, hbDone := a.hbStop, a.hbDone
+	a.mu.Unlock()
+	if hbStop != nil {
+		close(hbStop)
+		<-hbDone
+	}
 	var err error
-	if a.offerID != "" && a.opts.Lookup != nil {
-		if werr := a.opts.Lookup.Withdraw(ctx, a.offerID); werr != nil {
+	if id != "" && a.opts.Lookup != nil {
+		wctx, cancel := context.WithTimeout(context.Background(), withdrawTimeout)
+		if werr := a.opts.Lookup.Withdraw(wctx, id); werr != nil {
 			err = fmt.Errorf("agent: withdraw: %w", werr)
 		}
-		a.offerID = ""
+		cancel()
 	}
 	a.shutdown()
 	return err

@@ -1,0 +1,129 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"autoadapt/internal/trading"
+)
+
+// Lease heartbeat: the agent-side half of the trader's offer-lease
+// protocol (internal/trading/lease.go). While the agent runs, a
+// background goroutine renews its offer at roughly a third of the lease
+// TTL — jittered so a fleet of agents started together does not renew in
+// lockstep — and, when the trader answers "unknown offer" (it restarted,
+// or the lease was reaped before we renewed), re-exports the offer from
+// scratch with the original properties. Health() exposes the protocol's
+// state for diagnostics and tests.
+
+// renewTimeout bounds each renew/re-export RPC so a hung trader cannot
+// wedge the heartbeat goroutine past the next interval.
+const renewTimeout = 2 * time.Second
+
+// Health is a snapshot of the agent's lease-renewal state.
+type Health struct {
+	// OfferID is the offer currently registered (empty once closed).
+	OfferID string
+	// LastRenewal is when the offer lease was last confirmed: the initial
+	// export, the latest successful renew, or the latest re-export.
+	LastRenewal time.Time
+	// ConsecutiveFailures counts renew/re-export attempts that have
+	// failed since the last success.
+	ConsecutiveFailures int
+	// Reexports counts how many times the trader forgot the offer and the
+	// agent exported it anew.
+	Reexports int
+}
+
+// Health returns a snapshot of the agent's lease-renewal state.
+func (a *Agent) Health() Health {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.health
+	h.OfferID = a.offerID
+	return h
+}
+
+// heartbeat renews the offer lease until Close stops it.
+func (a *Agent) heartbeat(ttl time.Duration) {
+	defer close(a.hbDone)
+	for {
+		ch, cancel := a.opts.Clock.After(heartbeatInterval(ttl))
+		select {
+		case <-ch:
+			a.renewOnce()
+		case <-a.hbStop:
+			cancel()
+			return
+		}
+	}
+}
+
+// heartbeatInterval is TTL/3 jittered by ±15%, so an offer survives two
+// lost renewals before its lease runs out and co-started agents spread
+// their renewals over time.
+func heartbeatInterval(ttl time.Duration) time.Duration {
+	base := float64(ttl) / 3
+	return time.Duration(base * (0.85 + 0.3*rand.Float64()))
+}
+
+// renewOnce performs one renewal attempt, re-exporting if the trader no
+// longer knows the offer.
+func (a *Agent) renewOnce() {
+	a.mu.Lock()
+	id, closed := a.offerID, a.closed
+	a.mu.Unlock()
+	if closed || id == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), renewTimeout)
+	err := a.opts.Lookup.Renew(ctx, id)
+	cancel()
+	switch {
+	case err == nil:
+		a.mu.Lock()
+		a.health.LastRenewal = a.opts.Clock.Now()
+		a.health.ConsecutiveFailures = 0
+		a.mu.Unlock()
+	case errors.Is(err, trading.ErrUnknownOffer):
+		a.logf("agent: trader forgot offer %s; re-exporting", id)
+		a.reexport()
+	default:
+		a.mu.Lock()
+		a.health.ConsecutiveFailures++
+		a.mu.Unlock()
+		a.logf("agent: renew %s: %v", id, err)
+	}
+}
+
+// reexport registers the offer anew after the trader forgot it. If Close
+// won the race meanwhile, the fresh offer is withdrawn again rather than
+// stranded.
+func (a *Agent) reexport() {
+	ctx, cancel := context.WithTimeout(context.Background(), renewTimeout)
+	id, err := a.opts.Lookup.Export(ctx, a.opts.ServiceType, a.svcRef, a.exportProps)
+	cancel()
+	if err != nil {
+		a.mu.Lock()
+		a.health.ConsecutiveFailures++
+		a.mu.Unlock()
+		a.logf("agent: re-export: %v", err)
+		return
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		wctx, wcancel := context.WithTimeout(context.Background(), withdrawTimeout)
+		_ = a.opts.Lookup.Withdraw(wctx, id)
+		wcancel()
+		return
+	}
+	a.offerID = id
+	a.health.LastRenewal = a.opts.Clock.Now()
+	a.health.ConsecutiveFailures = 0
+	a.health.Reexports++
+	a.mu.Unlock()
+	a.logf("agent: re-exported as %s", id)
+}

@@ -1,0 +1,154 @@
+package agent
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"autoadapt/internal/clock"
+)
+
+// leasedFixture is newFixture plus a shared simulated clock driving both
+// the trader's leases and the agent's heartbeat.
+func leasedFixture(t *testing.T, ttl time.Duration) (*fixture, *clock.Sim) {
+	t.Helper()
+	f := newFixture(t)
+	sim := clock.NewSim(epoch)
+	f.trader.SetClock(sim)
+	f.trader.SetLeaseTTL(ttl)
+	return f, sim
+}
+
+// settle advances the simulated clock by d and then waits (in real time)
+// until every goroutine woken by fired timers has re-armed its next
+// timer, so sim-driven state is stable before the test asserts.
+func settle(t *testing.T, sim *clock.Sim, d time.Duration, timers int) {
+	t.Helper()
+	sim.Advance(d)
+	deadline := time.Now().Add(5 * time.Second)
+	for sim.PendingTimers() != timers {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending timers stuck at %d, want %d", sim.PendingTimers(), timers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	f, sim := leasedFixture(t, 30*time.Second)
+	a := startAgent(t, f, "host-hb", func(o *Options) {
+		o.Clock = sim
+		o.LeaseTTL = 30 * time.Second
+	})
+	// Two timers stay armed in steady state: the monitor period and the
+	// next heartbeat. Step simulated time well past several TTLs; the
+	// heartbeat (TTL/3, jittered) must keep the offer registered.
+	for i := 0; i < 36; i++ { // 3 simulated minutes in 5s steps
+		settle(t, sim, 5*time.Second, 2)
+	}
+	if n := f.trader.OfferCount(); n != 1 {
+		t.Fatalf("offer lost despite heartbeat: count=%d", n)
+	}
+	h := a.Health()
+	if h.ConsecutiveFailures != 0 {
+		t.Fatalf("health failures = %d", h.ConsecutiveFailures)
+	}
+	if !h.LastRenewal.After(epoch) {
+		t.Fatalf("lease never renewed: %v", h.LastRenewal)
+	}
+	if h.Reexports != 0 {
+		t.Fatalf("unexpected re-exports: %d", h.Reexports)
+	}
+}
+
+func TestLeaseExpiresWithoutHeartbeat(t *testing.T) {
+	f, sim := leasedFixture(t, 30*time.Second)
+	startAgent(t, f, "host-nohb", func(o *Options) {
+		o.Clock = sim
+		// LeaseTTL unset: no heartbeat — the crashed-agent scenario.
+	})
+	if n := f.trader.OfferCount(); n != 1 {
+		t.Fatalf("offer not exported: %d", n)
+	}
+	sim.Advance(30 * time.Second)
+	if n := f.trader.OfferCount(); n != 0 {
+		t.Fatalf("unrenewed offer still counted after TTL: %d", n)
+	}
+}
+
+func TestHeartbeatReexportsAfterTraderForgets(t *testing.T) {
+	f, sim := leasedFixture(t, 30*time.Second)
+	a := startAgent(t, f, "host-re", func(o *Options) {
+		o.Clock = sim
+		o.LeaseTTL = 30 * time.Second
+	})
+	oldID := a.OfferID()
+	// The trader forgets the offer behind the agent's back (restart, or
+	// the lease was reaped during a partition).
+	if err := f.trader.Withdraw(oldID); err != nil {
+		t.Fatal(err)
+	}
+	// The next heartbeat gets "unknown offer" and re-exports.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Health().Reexports == 0 {
+		settle(t, sim, 5*time.Second, 2)
+		if time.Now().After(deadline) {
+			t.Fatal("agent never re-exported")
+		}
+	}
+	if n := f.trader.OfferCount(); n != 1 {
+		t.Fatalf("offer count after re-export = %d", n)
+	}
+	if id := a.OfferID(); id == "" || id == oldID {
+		t.Fatalf("offer id after re-export = %q (old %q)", id, oldID)
+	}
+	// Close withdraws the *new* offer, not the stale id.
+	if err := a.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.trader.OfferCount(); n != 0 {
+		t.Fatalf("offer stranded after close: %d", n)
+	}
+}
+
+func TestCloseWithCanceledContextStillWithdraws(t *testing.T) {
+	f := newFixture(t)
+	a := startAgent(t, f, "host-cancel", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The bug this pins down: Close used to pass the caller's ctx to
+	// Withdraw, so a canceled ctx stranded the offer forever.
+	if err := a.Close(ctx); err != nil {
+		t.Fatalf("close with canceled ctx: %v", err)
+	}
+	if n := f.trader.OfferCount(); n != 0 {
+		t.Fatalf("offer stranded: %d", n)
+	}
+}
+
+func TestConcurrentClose(t *testing.T) {
+	f, sim := leasedFixture(t, 30*time.Second)
+	a := startAgent(t, f, "host-cc", func(o *Options) {
+		o.Clock = sim
+		o.LeaseTTL = 30 * time.Second
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = a.Close(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	if n := f.trader.OfferCount(); n != 0 {
+		t.Fatalf("offer survived concurrent close: %d", n)
+	}
+}

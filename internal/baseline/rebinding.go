@@ -1,0 +1,24 @@
+package baseline
+
+import (
+	"autoadapt/internal/orb"
+	"autoadapt/internal/rebind"
+	"autoadapt/internal/trading"
+)
+
+// NewRebinding builds a self-healing comparison client: Static's one-time
+// load-aware selection, plus automatic rebinding through the trader when
+// the bound server dies (see package rebind). preference defaults to
+// "min LoadAvg", like Static. The returned Rebinder implements Invoker.
+func NewRebinding(client *orb.Client, lookup *trading.Lookup, serviceType, constraint, preference string) *rebind.Rebinder {
+	if preference == "" {
+		preference = "min LoadAvg"
+	}
+	return rebind.New(rebind.Options{
+		Client:      client,
+		Lookup:      lookup,
+		ServiceType: serviceType,
+		Constraint:  constraint,
+		Preference:  preference,
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"autoadapt/internal/baseline"
 	"autoadapt/internal/core"
 	"autoadapt/internal/monitor"
+	"autoadapt/internal/rebind"
 	"autoadapt/internal/wire"
 )
 
@@ -34,10 +35,14 @@ const (
 	PolicyStatic     = "static"
 	PolicyRoundRobin = "roundrobin"
 	PolicyRandom     = "random"
+	PolicyRebind     = "rebind"
 )
 
-// AllPolicies lists every selection policy in report order.
-var AllPolicies = []string{PolicyAdaptive, PolicyStatic, PolicyRoundRobin, PolicyRandom}
+// AllPolicies lists every selection policy in report order. rebind is
+// static selection plus failure-driven rebinding (package rebind): under
+// E1's fault-free load it behaves like static, and E11 exercises its
+// self-healing path.
+var AllPolicies = []string{PolicyAdaptive, PolicyStatic, PolicyRebind, PolicyRoundRobin, PolicyRandom}
 
 // LoadShareConfig parameterizes experiment E1.
 type LoadShareConfig struct {
@@ -116,6 +121,7 @@ func LoadSharing(cfg LoadShareConfig, policy string) (*LoadShareResult, error) {
 	// Build one invoker per client.
 	invokers := make([]baseline.Invoker, cfg.Clients)
 	var proxies []*core.SmartProxy
+	var rebinders []*rebind.Rebinder
 	for i := 0; i < cfg.Clients; i++ {
 		switch policy {
 		case PolicyAdaptive:
@@ -151,6 +157,13 @@ func LoadSharing(cfg LoadShareConfig, policy string) (*LoadShareResult, error) {
 			if err := c.Bind(ctx); err != nil {
 				return nil, err
 			}
+			invokers[i] = c
+		case PolicyRebind:
+			c := baseline.NewRebinding(w.Client, w.Lookup, ServiceTypeName, "", "min LoadAvg")
+			if err := c.Bind(ctx); err != nil {
+				return nil, err
+			}
+			rebinders = append(rebinders, c)
 			invokers[i] = c
 		case PolicyRoundRobin:
 			c := baseline.NewRoundRobin(w.Client, w.Lookup, ServiceTypeName)
@@ -229,6 +242,12 @@ func LoadSharing(cfg LoadShareConfig, policy string) (*LoadShareResult, error) {
 			st := sp.Stats()
 			res.Switches += st.Switches
 			res.TraderQueries += st.Selections
+		}
+	} else if policy == PolicyRebind {
+		for _, rb := range rebinders {
+			st := rb.Stats()
+			res.Switches += st.Rebinds
+			res.TraderQueries += st.Queries
 		}
 	} else {
 		// Every baseline performs exactly one trader query at bind time.

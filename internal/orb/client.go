@@ -55,6 +55,15 @@ type ClientOptions struct {
 	// invocation deadline is used. 0 means DefaultWriteTimeout; negative
 	// disables the bound.
 	WriteTimeout time.Duration
+	// Breaker arms a per-endpoint circuit breaker: after
+	// Breaker.Threshold consecutive transport failures against one
+	// endpoint, invocations to it fail fast with ErrCircuitOpen until a
+	// cooldown elapses and a half-open probe succeeds. The zero value
+	// disables breaking.
+	Breaker BreakerPolicy
+	// Now supplies the breaker's time source; nil means time.Now. Tests
+	// inject a simulated clock's Now to drive cooldowns deterministically.
+	Now func() time.Time
 }
 
 // Client performs dynamic invocations on remote objects. It multiplexes
@@ -65,6 +74,13 @@ type Client struct {
 	retry        RetryPolicy
 	timeout      time.Duration
 	writeTimeout time.Duration
+
+	// Circuit breakers, one per endpoint (see breaker.go). breakerNow is
+	// the injected time source driving cooldowns.
+	breakerPolicy BreakerPolicy
+	breakerNow    func() time.Time
+	breakerMu     sync.Mutex
+	breakers      map[string]*breaker
 
 	mu     sync.Mutex
 	conns  map[string]*clientConn
@@ -109,14 +125,21 @@ func NewClientOpts(opts ClientOptions) *Client {
 	case wt < 0:
 		wt = 0
 	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Client{
-		networks:     m,
-		retry:        opts.Retry,
-		timeout:      opts.InvokeTimeout,
-		writeTimeout: wt,
-		conns:        make(map[string]*clientConn),
-		dials:        make(map[string]*inflightDial),
-		local:        make(map[string]*Server),
+		networks:      m,
+		retry:         opts.Retry,
+		timeout:       opts.InvokeTimeout,
+		writeTimeout:  wt,
+		breakerPolicy: opts.Breaker,
+		breakerNow:    now,
+		breakers:      make(map[string]*breaker),
+		conns:         make(map[string]*clientConn),
+		dials:         make(map[string]*inflightDial),
+		local:         make(map[string]*Server),
 	}
 }
 
@@ -162,7 +185,10 @@ func (c *Client) Invoke(ctx context.Context, ref wire.ObjRef, op string, args ..
 	}
 }
 
-// invokeOnce performs a single invocation attempt.
+// invokeOnce performs a single invocation attempt. Collocated calls
+// bypass the circuit breaker (an in-process servant cannot be
+// partitioned); remote calls consult the endpoint's breaker before
+// touching the transport and feed their outcome back into it.
 func (c *Client) invokeOnce(ctx context.Context, ref wire.ObjRef, op string, args []wire.Value) ([]wire.Value, error) {
 	c.localMu.RLock()
 	local, ok := c.local[ref.Endpoint]
@@ -170,6 +196,24 @@ func (c *Client) invokeOnce(ctx context.Context, ref wire.ObjRef, op string, arg
 	if ok {
 		return c.invokeLocal(ctx, local, ref.Key, op, args)
 	}
+	br := c.breakerFor(ref.Endpoint)
+	probe := false
+	if br != nil {
+		var err error
+		if probe, err = br.allow(ref.Endpoint); err != nil {
+			return nil, err
+		}
+	}
+	rs, err := c.invokeRemote(ctx, ref, op, args)
+	if br != nil {
+		br.record(err, probe)
+	}
+	return rs, err
+}
+
+// invokeRemote is one transport-level attempt: connect (or reuse) and
+// round-trip.
+func (c *Client) invokeRemote(ctx context.Context, ref wire.ObjRef, op string, args []wire.Value) ([]wire.Value, error) {
 	cc, err := c.conn(ctx, ref.Endpoint)
 	if err != nil {
 		return nil, err

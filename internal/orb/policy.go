@@ -108,18 +108,32 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	return time.Duration(d)
 }
 
+// isRetryNeutral reports failures that neither indict the endpoint nor can
+// be cured by retrying: the caller gave up, or the request itself is
+// deterministically unencodable. Shared by the retry policy and the
+// circuit breaker's failure classification.
+func isRetryNeutral(err error) bool {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return true
+	case errors.Is(err, wire.ErrFrameTooLarge), errors.Is(err, wire.ErrTooDeep):
+		return true
+	}
+	return false
+}
+
 // Retryable reports whether a failed invocation may be attempted again
 // under this policy.
 func (p RetryPolicy) Retryable(err error) bool {
 	switch {
 	case err == nil:
 		return false
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return false // the caller gave up; retrying cannot help
+	case errors.Is(err, ErrCircuitOpen):
+		return false // the breaker's whole point is to not keep trying
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrUnknownNetwork):
 		return false
-	case errors.Is(err, wire.ErrFrameTooLarge), errors.Is(err, wire.ErrTooDeep):
-		return false // deterministic encode failures
+	case isRetryNeutral(err):
+		return false
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {

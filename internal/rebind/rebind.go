@@ -1,0 +1,307 @@
+// Package rebind provides health-aware proxy rebinding: the client-side
+// half of the liveness layer (trader leases + ORB circuit breakers).
+//
+// A Rebinder wraps a service binding obtained from the trader. Every
+// invocation goes to the current binding; when it fails with a transport
+// fault — including the circuit breaker's fast ErrCircuitOpen — the
+// Rebinder re-queries the trader with its original constraint and
+// preference and transparently rebinds to the next best *live* offer
+// (leases and quarantine have removed the dead ones). When the query
+// comes back empty, it falls back to the last-known-good binding with a
+// staleness warning: better a possibly-recovered server than no server.
+// Application-level errors (orb.RemoteError) prove the peer alive and are
+// returned untouched; rebinding never retries an operation the server may
+// already have executed on a healthy binding.
+package rebind
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// ErrNoOffers is returned by Bind when the trader has no live offers and
+// by Invoke when every rebind avenue — fresh offers and the last-known-
+// good fallback — is exhausted.
+var ErrNoOffers = errors.New("rebind: no live offers")
+
+// Options configures a Rebinder.
+type Options struct {
+	// Client performs the invocations. Required.
+	Client *orb.Client
+	// Lookup reaches the trading service. Required.
+	Lookup *trading.Lookup
+	// ServiceType, Constraint, and Preference are replayed verbatim on
+	// every (re)binding query, so a rebind applies the same selection
+	// policy as the original bind. ServiceType is required.
+	ServiceType string
+	Constraint  string
+	Preference  string
+	// MaxRebinds bounds how many alternative offers one invocation tries
+	// after its first failure. Default 3.
+	MaxRebinds int
+	// Logger receives rebind and staleness diagnostics. Nil discards.
+	Logger *log.Logger
+	// OnRebind, if non-nil, observes every rebind (from may be zero on
+	// the initial bind).
+	OnRebind func(from, to wire.ObjRef)
+	// OnStaleFallback, if non-nil, observes every fallback to the
+	// last-known-good binding after the trader returned no live offers.
+	OnStaleFallback func(ref wire.ObjRef, cause error)
+}
+
+// Stats counts a Rebinder's activity.
+type Stats struct {
+	// Invocations is the number of Invoke calls.
+	Invocations int64
+	// Rebinds counts binding changes forced by failures.
+	Rebinds int64
+	// StaleFallbacks counts invocations retried against the last-known-
+	// good binding because the trader had no live offers.
+	StaleFallbacks int64
+	// FastFails counts failures that were ErrCircuitOpen — faults the
+	// breaker reported without touching the network.
+	FastFails int64
+	// Queries counts trader queries (initial bind + rebinds).
+	Queries int64
+}
+
+// Rebinder is a self-healing service binding. It implements the same
+// Invoke surface as the baseline clients and the smart proxy
+// (baseline.Invoker), so experiment drivers treat it uniformly.
+type Rebinder struct {
+	opts Options
+
+	mu        sync.Mutex
+	cur       wire.ObjRef
+	lastGood  wire.ObjRef
+	abandoned map[wire.ObjRef]bool
+	stats     Stats
+}
+
+// New builds a Rebinder. Call Bind before the first Invoke (Invoke binds
+// lazily otherwise).
+func New(opts Options) *Rebinder {
+	if opts.MaxRebinds <= 0 {
+		opts.MaxRebinds = 3
+	}
+	return &Rebinder{opts: opts, abandoned: make(map[wire.ObjRef]bool)}
+}
+
+// Bind selects the initial binding via the trader.
+func (r *Rebinder) Bind(ctx context.Context) error {
+	ref, err := r.query(ctx, nil)
+	if err != nil {
+		return err
+	}
+	if ref.IsZero() {
+		return ErrNoOffers
+	}
+	r.mu.Lock()
+	from := r.cur
+	r.cur = ref
+	delete(r.abandoned, ref)
+	r.mu.Unlock()
+	if r.opts.OnRebind != nil {
+		r.opts.OnRebind(from, ref)
+	}
+	return nil
+}
+
+// Current returns the active binding (zero before the first bind).
+func (r *Rebinder) Current() wire.ObjRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// Stats returns a snapshot of the activity counters.
+func (r *Rebinder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Invoke implements baseline.Invoker. On a transport fault it re-queries
+// the trader and retries against the next best live offer, up to
+// MaxRebinds alternatives; when the trader has none it falls back to the
+// last binding that ever answered successfully.
+func (r *Rebinder) Invoke(ctx context.Context, op string, args ...wire.Value) ([]wire.Value, error) {
+	r.mu.Lock()
+	r.stats.Invocations++
+	cur := r.cur
+	r.mu.Unlock()
+	if cur.IsZero() {
+		if err := r.Bind(ctx); err != nil {
+			return nil, err
+		}
+		cur = r.Current()
+	}
+
+	rs, err := r.opts.Client.Invoke(ctx, cur, op, args...)
+	if err == nil || !rebindable(err) {
+		r.noteOutcome(cur, err)
+		return rs, err
+	}
+
+	// Transport fault: the binding is suspect. Work through live
+	// alternatives, skipping every ref that already failed within this
+	// invocation (the trader may legitimately still offer it while its
+	// lease runs out).
+	failed := map[wire.ObjRef]bool{cur: true}
+	firstErr := err
+	for i := 0; i < r.opts.MaxRebinds; i++ {
+		r.noteFault(err)
+		next, qerr := r.query(ctx, failed)
+		if qerr != nil {
+			return nil, fmt.Errorf("rebind: re-query after %v: %w", err, qerr)
+		}
+		if next.IsZero() {
+			return r.staleFallback(ctx, failed, firstErr, op, args)
+		}
+		r.rebind(next)
+		r.logf("rebind: %s -> %s after %v", cur.Endpoint, next.Endpoint, err)
+		cur = next
+		rs, err = r.opts.Client.Invoke(ctx, cur, op, args...)
+		if err == nil || !rebindable(err) {
+			r.noteOutcome(cur, err)
+			return rs, err
+		}
+		failed[cur] = true
+	}
+	return nil, fmt.Errorf("rebind: exhausted %d alternatives: %w", r.opts.MaxRebinds, err)
+}
+
+// staleFallback retries against the last-known-good binding when the
+// trader has no live offers left. The binding may well be one that just
+// failed — but "possibly recovered" beats "certainly nothing", and the
+// caller is warned through OnStaleFallback and the logger.
+func (r *Rebinder) staleFallback(ctx context.Context, failed map[wire.ObjRef]bool, cause error, op string, args []wire.Value) ([]wire.Value, error) {
+	r.mu.Lock()
+	last := r.lastGood
+	r.stats.StaleFallbacks++
+	r.mu.Unlock()
+	if last.IsZero() {
+		return nil, fmt.Errorf("%w (after %v)", ErrNoOffers, cause)
+	}
+	r.logf("rebind: trader has no live offers after %v; falling back to stale last-known-good %s", cause, last.Endpoint)
+	if r.opts.OnStaleFallback != nil {
+		r.opts.OnStaleFallback(last, cause)
+	}
+	rs, err := r.opts.Client.Invoke(ctx, last, op, args...)
+	if err == nil || !rebindable(err) {
+		if err == nil {
+			r.rebind(last)
+		}
+		r.noteOutcome(last, err)
+		return rs, err
+	}
+	return nil, fmt.Errorf("%w (stale fallback to %s failed: %v)", ErrNoOffers, last.Endpoint, err)
+}
+
+// query asks the trader for the best offer not in skip. It returns a zero
+// ref (no error) when no acceptable offer exists.
+func (r *Rebinder) query(ctx context.Context, skip map[wire.ObjRef]bool) (wire.ObjRef, error) {
+	r.mu.Lock()
+	r.stats.Queries++
+	r.mu.Unlock()
+	results, err := r.opts.Lookup.Query(ctx, r.opts.ServiceType, r.opts.Constraint, r.opts.Preference, 0)
+	if err != nil {
+		return wire.ObjRef{}, err
+	}
+	for _, qr := range results {
+		if !skip[qr.Offer.Ref] {
+			return qr.Offer.Ref, nil
+		}
+	}
+	return wire.ObjRef{}, nil
+}
+
+// rebind installs ref as the current binding and remembers the old one as
+// abandoned so the interceptor can redirect stragglers.
+func (r *Rebinder) rebind(ref wire.ObjRef) {
+	r.mu.Lock()
+	from := r.cur
+	if from == ref {
+		r.mu.Unlock()
+		return
+	}
+	r.cur = ref
+	r.stats.Rebinds++
+	if !from.IsZero() {
+		r.abandoned[from] = true
+	}
+	delete(r.abandoned, ref)
+	r.mu.Unlock()
+	if r.opts.OnRebind != nil {
+		r.opts.OnRebind(from, ref)
+	}
+}
+
+// noteOutcome records a conclusive invocation result: any answer from the
+// server — success or application error — marks the binding known-good.
+func (r *Rebinder) noteOutcome(ref wire.ObjRef, err error) {
+	if err != nil && rebindable(err) {
+		return
+	}
+	r.mu.Lock()
+	r.lastGood = ref
+	delete(r.abandoned, ref)
+	r.mu.Unlock()
+}
+
+// noteFault counts breaker fast-fails.
+func (r *Rebinder) noteFault(err error) {
+	if errors.Is(err, orb.ErrCircuitOpen) {
+		r.mu.Lock()
+		r.stats.FastFails++
+		r.mu.Unlock()
+	}
+}
+
+// Interceptor returns a portable request interceptor that redirects
+// invocations still targeting an abandoned binding to the current one —
+// the hook that makes plain clients holding a stale ref benefit from the
+// Rebinder's knowledge without code changes.
+func (r *Rebinder) Interceptor() orb.RequestInterceptor {
+	return orb.RequestInterceptorFuncs{
+		OnSend: func(ctx context.Context, info *orb.RequestInfo) (wire.ObjRef, error) {
+			r.mu.Lock()
+			cur := r.cur
+			stale := r.abandoned[info.Target]
+			r.mu.Unlock()
+			if stale && !cur.IsZero() && cur != info.Target {
+				r.logf("rebind: redirecting stale ref %s to %s", info.Target.Endpoint, cur.Endpoint)
+				return cur, nil
+			}
+			return info.Target, nil
+		},
+	}
+}
+
+func (r *Rebinder) logf(format string, args ...any) {
+	if r.opts.Logger != nil {
+		r.opts.Logger.Printf(format, args...)
+	}
+}
+
+// rebindable reports whether err indicts the binding rather than the
+// caller or the application: transport faults and breaker fast-fails
+// qualify; server replies (RemoteError) and the caller's own context
+// expiry do not.
+func rebindable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	var re *orb.RemoteError
+	return !errors.As(err, &re)
+}

@@ -2,7 +2,9 @@ package trading
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 
 	"autoadapt/internal/orb"
 	"autoadapt/internal/wire"
@@ -25,6 +27,7 @@ interface Register {
     OfferId export(in ServiceTypeName type, in Object reference, in any properties);
     void withdraw(in OfferId id);
     void modify(in OfferId id, in any properties);
+    void renew(in OfferId id);
     void addType(in ServiceTypeName name, in string iface, in any props);
 };
 
@@ -108,6 +111,14 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 		}
 		if err := s.trader.Modify(args[0].Str(), props); err != nil {
 			return nil, orb.Appf("modify: %v", err)
+		}
+		return nil, nil
+	case "renew":
+		if len(args) < 1 {
+			return nil, orb.Appf("renew: offer id required")
+		}
+		if err := s.trader.Renew(args[0].Str()); err != nil {
+			return nil, orb.Appf("renew: %v", err)
 		}
 		return nil, nil
 	case "addType":
@@ -340,12 +351,32 @@ func (l *Lookup) Export(ctx context.Context, serviceType string, ref wire.ObjRef
 // Withdraw removes an offer remotely.
 func (l *Lookup) Withdraw(ctx context.Context, offerID string) error {
 	_, err := l.proxy.Call(ctx, "withdraw", wire.String(offerID))
-	return err
+	return mapOfferErr(err)
 }
 
 // Modify replaces an offer's properties remotely.
 func (l *Lookup) Modify(ctx context.Context, offerID string, props map[string]PropValue) error {
 	_, err := l.proxy.Call(ctx, "modify", wire.String(offerID), PropsToWire(props))
+	return mapOfferErr(err)
+}
+
+// Renew extends the lease of an offer remotely (see Trader.Renew). When
+// the trader does not know the offer — it restarted, or the lease was
+// reaped — the returned error wraps ErrUnknownOffer, so exporters can
+// errors.Is it and re-export from scratch.
+func (l *Lookup) Renew(ctx context.Context, offerID string) error {
+	_, err := l.proxy.Call(ctx, "renew", wire.String(offerID))
+	return mapOfferErr(err)
+}
+
+// mapOfferErr rewraps a remote APP_ERROR carrying the trader's unknown-
+// offer message so client code can match it with errors.Is(err,
+// ErrUnknownOffer) — the sentinel identity does not survive the wire.
+func mapOfferErr(err error) error {
+	var re *orb.RemoteError
+	if errors.As(err, &re) && strings.Contains(re.Msg, ErrUnknownOffer.Error()) {
+		return fmt.Errorf("%w: %v", ErrUnknownOffer, err)
+	}
 	return err
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autoadapt/internal/clock"
 	"autoadapt/internal/orb"
 	"autoadapt/internal/wire"
 )
@@ -94,8 +95,16 @@ type Trader struct {
 
 	mu     sync.RWMutex
 	types  map[string]ServiceType
-	offers map[string]*Offer
+	offers map[string]*offerRecord
 	nextID int
+
+	// Liveness knobs (see lease.go). clk stamps leases and drives the
+	// reaper; leaseTTL 0 disables leasing; quarThreshold is how many
+	// consecutive dynamic-property resolution failures quarantine an
+	// offer (values < 1 disable quarantining).
+	clk           clock.Clock
+	leaseTTL      time.Duration
+	quarThreshold int
 }
 
 // defaultResolveParallel is the per-query fan-out bound for dynamic
@@ -138,7 +147,9 @@ func NewTrader(resolver DynamicResolver) *Trader {
 		resolver:        resolver,
 		resolveParallel: defaultResolveParallel,
 		types:           make(map[string]ServiceType),
-		offers:          make(map[string]*Offer),
+		offers:          make(map[string]*offerRecord),
+		clk:             clock.Real{},
+		quarThreshold:   DefaultQuarantineThreshold,
 	}
 }
 
@@ -197,48 +208,81 @@ func (t *Trader) Export(serviceType string, ref wire.ObjRef, props map[string]Pr
 	for k, v := range props {
 		copied[k] = v
 	}
-	t.offers[id] = &Offer{ID: id, ServiceType: serviceType, Ref: ref, Props: copied}
+	rec := &offerRecord{offer: &Offer{ID: id, ServiceType: serviceType, Ref: ref, Props: copied}}
+	if t.leaseTTL > 0 {
+		rec.expires = t.clk.Now().Add(t.leaseTTL)
+	}
+	t.offers[id] = rec
 	return id, nil
 }
 
-// Withdraw removes an offer.
+// Withdraw removes an offer. It is lease-aware: withdrawing an offer whose
+// lease already expired removes the stale record but still reports
+// ErrUnknownOffer — by the trader's contract the offer was already gone.
 func (t *Trader) Withdraw(id string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.offers[id]; !ok {
+	rec, ok := t.offers[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownOffer, id)
 	}
 	delete(t.offers, id)
+	if rec.expired(t.clk.Now()) {
+		return fmt.Errorf("%w: %q (lease expired)", ErrUnknownOffer, id)
+	}
 	return nil
 }
 
-// Modify replaces the properties of an existing offer.
+// Modify replaces the properties of an existing offer. It is lease-aware:
+// modifying an expired offer reports ErrUnknownOffer without touching the
+// record, so a later Renew resurrects the offer with its pre-expiry
+// properties deterministically.
 func (t *Trader) Modify(id string, props map[string]PropValue) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	o, ok := t.offers[id]
+	rec, ok := t.offers[id]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownOffer, id)
+	}
+	if rec.expired(t.clk.Now()) {
+		return fmt.Errorf("%w: %q (lease expired)", ErrUnknownOffer, id)
 	}
 	copied := make(map[string]PropValue, len(props))
 	for k, v := range props {
 		copied[k] = v
 	}
-	o.Props = copied
+	rec.offer.Props = copied
 	return nil
 }
 
-// OfferCount reports the number of live offers (for diagnostics/tests).
+// OfferCount reports the number of live offers (for diagnostics/tests). It
+// is lease-aware: offers whose lease has expired are not counted even
+// before the reaper removes them. Quarantined offers still count — they
+// are alive, just distrusted by Query.
 func (t *Trader) OfferCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.offers)
+	now := t.clk.Now()
+	n := 0
+	for _, rec := range t.offers {
+		if !rec.expired(now) {
+			n++
+		}
+	}
+	return n
 }
 
 // Query finds offers of serviceType matching constraint, ordered by
 // preference. maxResults <= 0 means unlimited. Offers whose constraint
 // evaluation fails (missing property, unreachable dynamic property) are
 // skipped, per OMG trader semantics.
+//
+// Query is liveness-aware (see lease.go): offers whose lease has expired
+// are never candidates, and quarantined offers — those whose dynamic
+// properties failed to resolve on several consecutive queries — are
+// excluded from the results. Quarantined offers still have their dynamic
+// properties resolved as *probes*, so a recovered monitor rehabilitates
+// its offer and the next query sees it again.
 //
 // Snapshots are demand-driven: static properties are always included, but
 // dynamic properties are resolved only when the constraint or preference
@@ -270,9 +314,11 @@ func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference 
 	// captured pair stays consistent after the lock is released even if a
 	// concurrent Modify swaps in replacement properties.
 	candidates := sc.candidates[:0]
-	for _, o := range t.offers {
-		if o.ServiceType == serviceType {
-			candidates = append(candidates, offerView{o: o, props: o.Props})
+	now := t.clk.Now()
+	for _, rec := range t.offers {
+		o := rec.offer
+		if o.ServiceType == serviceType && !rec.expired(now) {
+			candidates = append(candidates, offerView{o: o, props: o.Props, quarantined: rec.quarantined})
 		}
 	}
 	t.mu.RUnlock()
@@ -290,8 +336,12 @@ func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference 
 	sort.Slice(order, func(i, j int) bool { return seqs[order[i]] < seqs[order[j]] })
 
 	snaps := t.snapshotAll(ctx, candidates, cons, pref, workers, sc)
+	t.noteResolveOutcomes(ctx, candidates, sc.outcomes)
 	matched := make([]QueryResult, 0, len(candidates))
 	for _, ci := range order {
+		if candidates[ci].quarantined {
+			continue // probed above, but untrusted until rehabilitated
+		}
 		snap := snaps[ci]
 		lookup := func(name string) (wire.Value, bool) {
 			v, ok := snap[name]
@@ -328,9 +378,11 @@ func offerSeq(id string) int {
 
 // offerView pairs an offer with the Props map captured under the trader
 // lock, pinning a consistent property set for the rest of the query.
+// quarantined marks offers resolved only as probes, never matched.
 type offerView struct {
-	o     *Offer
-	props map[string]PropValue
+	o           *Offer
+	props       map[string]PropValue
+	quarantined bool
 }
 
 // pendingProp records that one offer property awaits one task's result.
@@ -353,8 +405,23 @@ type queryScratch struct {
 	pend       []pendingProp
 	results    []resolveResult
 	snaps      []map[string]wire.Value
+	outcomes   []resolveOutcome
 	ti         taskIndex
 }
+
+// resolveOutcome summarizes one offer's dynamic-property resolutions
+// within a single query, feeding the quarantine bookkeeping.
+type resolveOutcome uint8
+
+const (
+	// resolveNone: no dynamic property of the offer was resolved — the
+	// query gave no liveness evidence either way.
+	resolveNone resolveOutcome = iota
+	// resolveAllOK: every attempted resolution answered.
+	resolveAllOK
+	// resolveSomeFailed: at least one resolution failed.
+	resolveSomeFailed
+)
 
 // maxScratchEntries bounds the capacities a pooled scratch may retain, so
 // one huge query does not pin its working set for the life of the process.
@@ -488,6 +555,7 @@ type resolveResult struct {
 // constraints referencing them fail for that offer only.
 func (t *Trader) snapshotAll(ctx context.Context, offers []offerView, cons *Constraint, pref *Preference, workers int, sc *queryScratch) []map[string]wire.Value {
 	snaps := sc.snaps[:0]
+	outcomes := sc.outcomes[:0]
 	// The dynamic-path structures are initialized lazily so purely static
 	// queries pay nothing for them.
 	var (
@@ -499,6 +567,7 @@ func (t *Trader) snapshotAll(ctx context.Context, offers []offerView, cons *Cons
 		props := offers[i].props
 		snap := make(map[string]wire.Value, len(props))
 		snaps = append(snaps, snap)
+		outcomes = append(outcomes, resolveNone)
 		for name, pv := range props {
 			if !pv.IsDynamic() {
 				snap[name] = pv.Static
@@ -525,6 +594,7 @@ func (t *Trader) snapshotAll(ctx context.Context, offers []offerView, cons *Cons
 		}
 	}
 	sc.snaps = snaps
+	sc.outcomes = outcomes
 	if ti != nil {
 		sc.tasks, sc.pend = tasks, pend
 	}
@@ -532,6 +602,11 @@ func (t *Trader) snapshotAll(ctx context.Context, offers []offerView, cons *Cons
 	for _, p := range pend {
 		if r := results[p.task]; r.err == nil {
 			snaps[p.offer][p.name] = r.v
+			if outcomes[p.offer] == resolveNone {
+				outcomes[p.offer] = resolveAllOK
+			}
+		} else {
+			outcomes[p.offer] = resolveSomeFailed
 		}
 	}
 	return snaps
