@@ -19,9 +19,11 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench . -benchmem . ./internal/script
 
 # One iteration of every benchmark: catches benches that break (compile
 # errors, Fatal paths) without paying for stable numbers. CI runs this.
+# Covers the root experiment benches (E1–E12) and the script-engine
+# kernels (Fib15, NumericLoop, compile/cache paths).
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime=1x .
+	$(GO) test -run xxx -bench . -benchtime=1x . ./internal/script

@@ -438,6 +438,139 @@ func BenchmarkE7ScriptFig7Strategy(b *testing.B) {
 	}
 }
 
+// ---- E12: strategy event throughput — install-once vs per-event re-parse ----
+
+// e12StrategySrc is a Fig. 7-shaped strategy: it reads the bound monitor
+// over the ORB, builds a constraint from thresholds, smooths the load
+// history, and branches on the result. Its length is representative of
+// the paper's listings — which is what makes per-event re-parsing costly.
+const e12StrategySrc = `function(self)
+	self._loadavg = self._loadavgmon:getValue()
+	local threshold = 50
+	local relaxstep = 10
+	local history = self._history or {}
+	history[#history + 1] = self._loadavg
+	if #history > 8 then
+		local trimmed = {}
+		for i = 2, #history do
+			trimmed[i - 1] = history[i]
+		end
+		history = trimmed
+	end
+	self._history = history
+	local sum = 0
+	for i = 1, #history do
+		sum = sum + history[i]
+	end
+	local smoothed = sum / #history
+	local query = "LoadAvg < " .. threshold .. " and LoadAvgIncreasing == no"
+	if smoothed >= threshold + relaxstep then
+		return "overloaded", query
+	elseif smoothed >= threshold then
+		return "watch", "LoadAvg < " .. (threshold + relaxstep)
+	end
+	return "ok"
+end`
+
+// benchE12Proxy builds a bound smart proxy whose offer carries a dynamic
+// LoadAvg property, so script strategies see a live self._loadavgmon.
+func benchE12Proxy(b *testing.B) (*core.SmartProxy, *orb.Client, wire.ObjRef) {
+	n := orb.NewInprocNetwork()
+	srv, err := orb.NewServer(orb.ServerOptions{Network: n, Address: "b12"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	svcRef := srv.Register("svc", "", echoServantBench())
+	monRef := srv.Register("mon", "", orb.ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+		if op != "getValue" {
+			return nil, fmt.Errorf("monitor: no such operation %q", op)
+		}
+		return []wire.Value{wire.Number(60)}, nil
+	}))
+	client := orb.NewClient(n)
+	b.Cleanup(func() { client.Close() })
+	client.RegisterLocal(srv) // collocated fast path, as a real agent host
+	sp, err := core.New(core.Options{Client: client})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sp.Close)
+	err = sp.BindTo(context.Background(), trading.QueryResult{Offer: trading.Offer{
+		ID:  "offer-12",
+		Ref: svcRef,
+		Props: map[string]trading.PropValue{
+			"LoadAvg": {Dynamic: monRef},
+		},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp, client, monRef
+}
+
+// BenchmarkE12StrategyEventInstallOnce is the shipped path: the strategy
+// source compiles once at SetScriptStrategy time (through the chunk cache)
+// and every event activation just Calls the cached closure.
+func BenchmarkE12StrategyEventInstallOnce(b *testing.B) {
+	sp, _, _ := benchE12Proxy(b)
+	if err := sp.SetScriptStrategy("LoadIncrease", e12StrategySrc); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.OnEvent("LoadIncrease")
+		if err := sp.Adapt(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12StrategyEventReparse reproduces the pre-cache behavior the
+// seed had (scriptstrategy.go evaluated `return <src>` on every event): a
+// cache-disabled interpreter re-lexes, re-parses, and re-resolves the
+// strategy source per activation before calling it. The self stub mirrors
+// what buildScriptSelf provides — a monitor object whose getValue invokes
+// the real monitor servant over the ORB — so the two benchmarks differ
+// only in compile work.
+func BenchmarkE12StrategyEventReparse(b *testing.B) {
+	sp, client, monRef := benchE12Proxy(b)
+	in := script.New(script.Options{CacheSize: -1})
+	ctx := context.Background()
+	sp.SetStrategy("LoadIncrease", func(ctx context.Context, _ *core.SmartProxy) error {
+		vs, err := in.Eval("strategy:LoadIncrease", "return "+e12StrategySrc)
+		if err != nil {
+			return err
+		}
+		mon := script.NewTable()
+		mon.SetString("getValue", script.Func("monitor.getValue", func(_ *script.Interp, _ []script.Value) ([]script.Value, error) {
+			rs, err := client.Invoke(ctx, monRef, "getValue")
+			if err != nil {
+				return nil, err
+			}
+			out := make([]script.Value, len(rs))
+			for i, v := range rs {
+				out[i] = script.FromWire(v)
+			}
+			return out, nil
+		}))
+		self := script.NewTable()
+		self.SetString("_loadavgmon", script.TableVal(mon))
+		_, err = in.Call(vs[0], []script.Value{script.TableVal(self)})
+		return err
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.OnEvent("LoadIncrease")
+		if err := sp.Adapt(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- E8: strategy reuse across service types ----
 
 func BenchmarkE8ReuseAcrossServices(b *testing.B) {

@@ -225,6 +225,14 @@ func (a *Agent) OfferID() string {
 // Endpoint returns the agent's server endpoint.
 func (a *Agent) Endpoint() string { return a.server.Endpoint() }
 
+// configScriptCache is shared by every RunConfigScript interpreter in the
+// process: each call builds a fresh sandbox (the injected primitives close
+// over one agent), but identical remote-eval sources — the common case when
+// one config is pushed to a fleet of agents hosted together — compile once.
+// ChunkCache is concurrency-safe, so agents on different goroutines may hit
+// it simultaneously.
+var configScriptCache = script.NewChunkCache(64)
+
 // RunConfigScript executes AdaptScript configuration code with these
 // primitives, mirroring the paper's script-implemented agents:
 //
@@ -234,7 +242,7 @@ func (a *Agent) Endpoint() string { return a.server.Endpoint() }
 //	                             the monitor through the named aspect
 //	log(message)               — agent diagnostics
 func (a *Agent) RunConfigScript(src string) error {
-	in := script.New(script.Options{})
+	in := script.New(script.Options{Cache: configScriptCache})
 	in.SetGlobal("defineaspect", script.Func("defineaspect", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
 		if len(args) < 2 {
 			return nil, errors.New("defineaspect(name, code)")

@@ -29,18 +29,18 @@ import (
 // SetScriptStrategy compiles src — AdaptScript source evaluating to a
 // function(self) — and installs it as the strategy for event. This is the
 // paper's `strategies` table entry: dynamically replaceable at run time.
+//
+// Compilation happens exactly once, here at install time, through the
+// interpreter's chunk cache; per-event activations Call the cached closure
+// with zero parse work, and reinstalling the same source (e.g. the same
+// strategy pushed to every proxy in a fleet sharing a cache) is a cache hit.
 func (sp *SmartProxy) SetScriptStrategy(event, src string) error {
 	sp.scriptMu.Lock()
-	vs, err := sp.in.Eval("strategy:"+event, "return "+src)
-	if err != nil || len(vs) == 0 || !vs[0].IsFunction() {
-		sp.scriptMu.Unlock()
-		if err != nil {
-			return fmt.Errorf("core: compile strategy %q: %w", event, err)
-		}
-		return fmt.Errorf("core: strategy %q did not evaluate to a function", event)
-	}
-	fn := vs[0]
+	fn, err := sp.in.CompileFunction("strategy:"+event, src)
 	sp.scriptMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("core: compile strategy %q: %w", event, err)
+	}
 
 	sp.SetStrategy(event, func(ctx context.Context, p *SmartProxy) error {
 		self := p.buildScriptSelf(ctx)
@@ -59,18 +59,17 @@ func (sp *SmartProxy) SetScriptStrategy(event, src string) error {
 //
 // Every entry is installed as a strategy.
 func (sp *SmartProxy) SetScriptStrategiesTable(src string) error {
+	// EvalExpr routes through the chunk cache: re-pushing the same table
+	// source re-runs the cached chunk without touching the parser.
 	sp.scriptMu.Lock()
-	vs, err := sp.in.Eval("strategies", "return "+src)
+	v, err := sp.in.EvalExpr("strategies", src)
 	sp.scriptMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("core: compile strategies table: %w", err)
 	}
-	if len(vs) == 0 {
-		return fmt.Errorf("core: strategies source yielded no value")
-	}
-	tbl, ok := vs[0].AsTable()
+	tbl, ok := v.AsTable()
 	if !ok {
-		return fmt.Errorf("core: strategies source yielded %s, want table", vs[0].Kind())
+		return fmt.Errorf("core: strategies source yielded %s, want table", v.Kind())
 	}
 	var installErr error
 	tbl.Pairs(func(k, v script.Value) bool {

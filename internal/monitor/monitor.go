@@ -210,18 +210,14 @@ func (m *Monitor) compileFunction(chunk, src string) (script.Value, error) {
 }
 
 func (m *Monitor) compileFunctionLocked(chunk, src string) (script.Value, error) {
-	vs, err := m.in.Eval(chunk, "return "+src)
+	// CompileFunction accepts both expression ("function() ... end") and
+	// chunk forms, and compiles through the interpreter's chunk cache — a
+	// predicate attached to N events or re-shipped on reconnect parses once.
+	fn, err := m.in.CompileFunction(chunk, src)
 	if err != nil {
-		// Allow the "function f() end"-style source that already returns.
-		vs, err = m.in.Eval(chunk, src)
-		if err != nil {
-			return script.Nil(), fmt.Errorf("monitor: compile %s: %w", chunk, err)
-		}
+		return script.Nil(), fmt.Errorf("monitor: compile %s: %w", chunk, err)
 	}
-	if len(vs) == 0 || !vs[0].IsFunction() {
-		return script.Nil(), fmt.Errorf("monitor: %s did not evaluate to a function", chunk)
-	}
-	return vs[0], nil
+	return fn, nil
 }
 
 // buildSelfTable creates the script-visible monitor object handed to

@@ -9,6 +9,47 @@ type node interface {
 	nodeLine() int
 }
 
+// ---- resolution metadata ----
+//
+// The resolver (resolve.go) runs once after parsing and annotates the AST
+// with integer addresses so the runtime never looks a variable up by name.
+// After resolution the tree is read-only: closures share one funcProto per
+// function literal, and cached chunks share the whole tree across calls and
+// across interpreters.
+
+// localInfo describes one declared local variable. Slot/box indices are
+// assigned when the enclosing function finishes resolving (a local only
+// learns whether it is captured — boxed — once the whole function body has
+// been seen), so references hold the *localInfo and read index/boxed late.
+type localInfo struct {
+	name  string
+	index int  // index into frame.slots, or frame.boxes when boxed
+	boxed bool // captured by an inner function: lives in a heap cell
+}
+
+// varKind says where a name resolves to at run time.
+type varKind uint8
+
+const (
+	varGlobal varKind = iota // zero value: not a local anywhere — globals table
+	varLocal                 // slot or box in the current frame (li says which)
+	varUpval                 // captured cell reached through the closure
+)
+
+// varRef is the resolved address of a nameExpr.
+type varRef struct {
+	kind varKind
+	li   *localInfo // varLocal
+	idx  int        // varUpval: index into Closure.upvals
+}
+
+// upvalDesc tells makeClosure where to capture each upvalue from.
+type upvalDesc struct {
+	fromParent bool       // capture the enclosing frame's box ...
+	li         *localInfo // ... at li.index
+	idx        int        // otherwise re-capture enclosing closure's upvals[idx]
+}
+
 type base struct{ line int }
 
 func (b base) nodeLine() int { return b.line }
@@ -31,6 +72,7 @@ type localStmt struct {
 	base
 	names []string
 	exprs []expr
+	infos []*localInfo // parallel to names; set by the resolver
 }
 
 // assignStmt assigns to one or more assignable targets: a, b.c[k] = e1, e2.
@@ -74,6 +116,7 @@ type numForStmt struct {
 	name               string
 	start, limit, step expr // step may be nil (defaults to 1)
 	body               *blockStmt
+	info               *localInfo // loop variable; set by the resolver
 }
 
 // genForStmt is for n1, n2 in explist do body end (iterator protocol).
@@ -82,6 +125,7 @@ type genForStmt struct {
 	names []string
 	exprs []expr
 	body  *blockStmt
+	infos []*localInfo // parallel to names; set by the resolver
 }
 
 // returnStmt returns zero or more values.
@@ -108,6 +152,7 @@ type localFuncStmt struct {
 	base
 	name string
 	fn   *funcExpr
+	info *localInfo // set by the resolver; declared before fn so it can recurse
 }
 
 func (*blockStmt) stmtNode()     {}
@@ -150,6 +195,7 @@ type stringExpr struct {
 type nameExpr struct {
 	base
 	name string
+	ref  varRef // set by the resolver; zero value means global
 }
 
 // indexExpr is a[k] or a.k (dot form stores a string key).
@@ -180,7 +226,8 @@ type funcExpr struct {
 	params   []string
 	isVararg bool
 	body     *blockStmt
-	name     string // informational, for diagnostics
+	name     string     // informational, for diagnostics
+	proto    *funcProto // resolved once; shared by every closure made from it
 }
 
 // binExpr is a binary operation.
@@ -223,12 +270,19 @@ func (*tableExpr) exprNode()      {}
 func (*varargExpr) exprNode()     {}
 
 // funcProto is the compiled form of a function: its parameters and body,
-// plus metadata for diagnostics.
+// resolution results (frame layout, upvalue captures) and metadata for
+// diagnostics. A proto is immutable after resolution and shared by every
+// closure created from the same function literal, and — through the chunk
+// cache — by every interpreter evaluating the same source.
 type funcProto struct {
-	params   []string
-	isVararg bool
-	body     *blockStmt
-	name     string
-	chunk    string
-	line     int
+	params     []string
+	paramInfos []*localInfo // parallel to params
+	isVararg   bool
+	body       *blockStmt
+	name       string
+	chunk      string
+	line       int
+	numSlots   int // unboxed locals in the frame
+	numBoxes   int // boxed (captured) locals in the frame
+	upvals     []upvalDesc
 }

@@ -62,23 +62,41 @@ func BenchmarkClosureCreationAndCall(b *testing.B) {
 		return total`)
 }
 
+const benchFig7Src = `return function(self)
+	self._loadavg = self._loadavgmon:getValue()
+	local query
+	query = "LoadAvg < 50 and LoadAvgIncreasing == no"
+	if not self:_select(query) then
+		self._loadavgmon:attachEventObserver(self._observer, "LoadIncrease",
+			[[function(observer, value, monitor)
+				return value[1] > 70
+			end]])
+	end
+end`
+
+// BenchmarkCompileFig7 measures the steady-state cost of Compile on the
+// default interpreter: after the first iteration every call is a chunk
+// cache hit (hash + LRU bump, no lexing or parsing).
 func BenchmarkCompileFig7(b *testing.B) {
 	in := New(Options{})
-	src := `return function(self)
-		self._loadavg = self._loadavgmon:getValue()
-		local query
-		query = "LoadAvg < 50 and LoadAvgIncreasing == no"
-		if not self:_select(query) then
-			self._loadavgmon:attachEventObserver(self._observer, "LoadIncrease",
-				[[function(observer, value, monitor)
-					return value[1] > 70
-				end]])
-		end
-	end`
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := in.Compile("fig7", src); err != nil {
+		if _, err := in.Compile("fig7", benchFig7Src); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkCompileFig7NoCache is the same compile with the cache disabled:
+// the full lex → parse → resolve pipeline every iteration. The ratio to
+// BenchmarkCompileFig7 is the cache's payoff for wire-shipped strategies.
+func BenchmarkCompileFig7NoCache(b *testing.B) {
+	in := New(Options{CacheSize: -1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Compile("fig7", benchFig7Src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+

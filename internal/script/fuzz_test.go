@@ -1,0 +1,62 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompileResolve feeds arbitrary source through the whole compile
+// pipeline (lex → parse → resolve → fold). Invalid programs must come back
+// as *SyntaxError values, never as panics, and valid ones must also survive
+// a bounded run — the resolver's slot/box/upvalue assignment is exactly the
+// kind of index arithmetic that panics when it is wrong.
+func FuzzCompileResolve(f *testing.F) {
+	seeds := []string{
+		"",
+		"return 1 + 2 * 3",
+		"local x = 1 return x",
+		"local function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end return fib(5)",
+		"local t = {1, 2, x = 3} return t.x + #t",
+		"for i = 1, 10 do end",
+		"for k, v in pairs({a=1}) do return k, v end",
+		"local fns = {} for i = 1, 3 do fns[i] = function() return i end end return fns[1]()",
+		"local a, b = 1 return a, b",
+		"return function(...) return ... end",
+		"repeat local x = 1 until x", // until sees OUTER scope: x here is global nil... syntactically fine
+		"local s = 'a' .. 1 .. [[multi\nline]]",
+		"return ...",
+		"local x = x return x",
+		"function a.b.c() end",
+		"local t = {} function t:m(v) self.v = v end t:m(1) return t.v",
+		"while true do break end",
+		"return -2^2, 2^3^2, -7%3, 1e3, 0x10, .5",
+		"return not nil and 1 or 2",
+		"local function o() local n = 0 return function() n = n + 1 return n end end return o()()",
+		// malformed inputs
+		"return",
+		"local",
+		"1 +",
+		"function",
+		"end",
+		"local x = function( return",
+		"... = 1",
+		"return ]] [[",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		in := New(Options{MaxSteps: 20_000, CacheSize: -1})
+		fn, err := in.Compile("fuzz", src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "fuzz:") {
+				t.Fatalf("compile error lost its chunk position: %v", err)
+			}
+			return
+		}
+		// Run the resolved program under a tight budget; runtime errors are
+		// fine, panics are the bug.
+		_, _ = in.Call(fn, []Value{Number(1), String("arg")})
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"autoadapt/internal/clock"
 )
@@ -51,6 +52,15 @@ type Options struct {
 	// Rand, if set, seeds math.random-style builtins deterministically.
 	// The function must return a float in [0,1).
 	Rand func() float64
+	// Cache, if set, is the compiled-chunk cache this interpreter consults
+	// before parsing. A single *ChunkCache may be shared by many
+	// interpreters across goroutines: resolved chunks are read-only, so
+	// hosts that spin up an Interp per request (e.g. the agent's remote
+	// config eval) still compile each unique source once.
+	Cache *ChunkCache
+	// CacheSize sizes the private chunk cache created when Cache is nil.
+	// Zero means DefaultCacheSize; negative disables caching entirely.
+	CacheSize int
 }
 
 // DefaultMaxSteps is the per-call step budget applied when Options.MaxSteps
@@ -59,12 +69,21 @@ type Options struct {
 const DefaultMaxSteps = 5_000_000
 
 // Interp is an AdaptScript interpreter: a global environment plus
-// configuration. An Interp is NOT safe for concurrent use; callers that
-// share one across goroutines (e.g. a monitor evaluating predicates from
-// its timer and its RPC handler) must serialize access.
+// configuration.
+//
+// Concurrency contract: an Interp is NOT safe for concurrent use — it owns
+// mutable evaluation state (the step budget) and a mutable globals table, so
+// callers that share one across goroutines (e.g. a monitor evaluating
+// predicates from its timer and its RPC handler) must serialize access. The
+// one exception is the compiled-chunk cache: a *ChunkCache is internally
+// locked and may be shared freely between interpreters and goroutines, and
+// the funcProto values it hands out are immutable after resolution, so
+// concurrent Compile/Eval calls on DIFFERENT Interp values sharing one cache
+// are safe and deduplicate parse work.
 type Interp struct {
 	globals *Table
 	opts    Options
+	cache   *ChunkCache
 	steps   int
 	budget  int
 }
@@ -72,6 +91,16 @@ type Interp struct {
 // New returns an interpreter with the standard library installed.
 func New(opts Options) *Interp {
 	in := &Interp{globals: NewTable(), opts: opts}
+	switch {
+	case opts.Cache != nil:
+		in.cache = opts.Cache
+	case opts.CacheSize >= 0:
+		size := opts.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		in.cache = NewChunkCache(size)
+	}
 	in.installStdlib()
 	return in
 }
@@ -84,16 +113,52 @@ func (in *Interp) Globals() *Table { return in.globals }
 // SetGlobal is shorthand for Globals().SetString.
 func (in *Interp) SetGlobal(name string, v Value) { in.globals.SetString(name, v) }
 
+// Stats reports the chunk-cache counters (zero values when caching is
+// disabled).
+func (in *Interp) Stats() CacheStats {
+	if in.cache == nil {
+		return CacheStats{}
+	}
+	return in.cache.Stats()
+}
+
+// compileChunk parses+resolves src through the chunk cache. mode selects
+// whether src is a full chunk or an expression to wrap in "return (src)";
+// the wrapper string is only built on a miss, so cache hits do zero parse
+// work and zero allocation beyond the lookup.
+func (in *Interp) compileChunk(mode byte, chunkName, src string) (*funcProto, error) {
+	if in.cache != nil {
+		if p, ok := in.cache.lookup(mode, chunkName, src); ok {
+			return p, nil
+		}
+	}
+	text := src
+	if mode == cacheModeExpr {
+		text = "return " + src
+	}
+	block, err := parseChunk(chunkName, text)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := resolveChunk(chunkName, block)
+	if err != nil {
+		return nil, err
+	}
+	if in.cache != nil {
+		in.cache.store(mode, chunkName, src, proto)
+	}
+	return proto, nil
+}
+
 // Compile parses src into a callable function value without running it.
-// chunkName appears in error messages.
+// chunkName appears in error messages. Identical (chunkName, src) pairs hit
+// the chunk cache and share one compiled proto.
 func (in *Interp) Compile(chunkName, src string) (Value, error) {
-	block, err := parseChunk(chunkName, src)
+	proto, err := in.compileChunk(cacheModeChunk, chunkName, src)
 	if err != nil {
 		return Nil(), err
 	}
-	proto := &funcProto{body: block, chunk: chunkName, name: chunkName, isVararg: true}
-	cl := &Closure{proto: proto, env: &environment{globals: in.globals}}
-	return closureVal(cl), nil
+	return closureVal(&Closure{proto: proto}), nil
 }
 
 // Eval compiles and runs src as a chunk, returning the values of its
@@ -109,12 +174,44 @@ func (in *Interp) Eval(chunkName, src string) ([]Value, error) {
 // EvalExpr compiles and runs "return (src)" — convenient for expression
 // strings such as trader constraints written in script syntax.
 func (in *Interp) EvalExpr(chunkName, src string) (Value, error) {
-	vs, err := in.Eval(chunkName, "return "+src)
+	proto, err := in.compileChunk(cacheModeExpr, chunkName, src)
+	if err != nil {
+		return Nil(), err
+	}
+	vs, err := in.Call(closureVal(&Closure{proto: proto}), nil)
 	if err != nil {
 		return Nil(), err
 	}
 	if len(vs) == 0 {
 		return Nil(), nil
+	}
+	return vs[0], nil
+}
+
+// CompileFunction compiles src that denotes a function — either a function
+// expression ("function(a) ... end") or a chunk whose top-level return
+// yields one — runs the wrapper once, and returns the function value. This
+// is the install-time half of the wire protocol: strategies and predicates
+// arrive as source, get compiled through the cache exactly once, and the
+// returned closure is then Call-ed per event with no parse work.
+func (in *Interp) CompileFunction(chunkName, src string) (Value, error) {
+	proto, err := in.compileChunk(cacheModeExpr, chunkName, src)
+	if err != nil {
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			return Nil(), err
+		}
+		// Not an expression; treat src as a chunk that returns a function.
+		if proto, err = in.compileChunk(cacheModeChunk, chunkName, src); err != nil {
+			return Nil(), err
+		}
+	}
+	vs, err := in.Call(closureVal(&Closure{proto: proto}), nil)
+	if err != nil {
+		return Nil(), err
+	}
+	if len(vs) == 0 || !vs[0].IsFunction() {
+		return Nil(), fmt.Errorf("script: %s did not evaluate to a function", chunkName)
 	}
 	return vs[0], nil
 }
@@ -152,86 +249,149 @@ func (in *Interp) call(fn Value, args []Value, depth int) ([]Value, error) {
 }
 
 func (in *Interp) callClosure(cl *Closure, args []Value, depth int) ([]Value, error) {
-	env := &environment{parent: cl.env, globals: in.globals, vars: map[string]*Value{}}
-	for i, p := range cl.proto.params {
+	p := cl.proto
+	fr := framePool.Get().(*frame)
+	fr.in, fr.cl, fr.chunk, fr.depth = in, cl, p.chunk, depth
+	if cap(fr.slots) >= p.numSlots {
+		fr.slots = fr.slots[:p.numSlots]
+	} else {
+		fr.slots = make([]Value, p.numSlots)
+	}
+	if cap(fr.boxes) >= p.numBoxes {
+		fr.boxes = fr.boxes[:p.numBoxes]
+	} else {
+		fr.boxes = make([]*Value, p.numBoxes)
+	}
+	for i, li := range p.paramInfos {
 		v := Nil()
 		if i < len(args) {
 			v = args[i]
 		}
-		env.define(p, v)
+		fr.define(li, v)
 	}
-	if cl.proto.isVararg && len(args) > len(cl.proto.params) {
-		env.varargs = args[len(cl.proto.params):]
-		env.hasVarargs = true
-	} else if cl.proto.isVararg {
-		env.hasVarargs = true
+	if p.isVararg && len(args) > len(p.paramInfos) {
+		fr.varargs = args[len(p.paramInfos):]
 	}
-	fr := &frame{in: in, chunk: cl.proto.chunk, depth: depth}
-	ctl, err := fr.execBlock(cl.proto.body, env)
+	ctl, err := fr.execBlock(p.body)
+	putFrame(fr)
 	if err != nil {
 		return nil, err
 	}
-	if ctl != nil && ctl.kind == ctlReturn {
+	if ctl.kind == ctlReturn {
 		return ctl.values, nil
 	}
 	return nil, nil
 }
 
-// environment is a lexical scope chain.
-type environment struct {
-	parent     *environment
-	globals    *Table
-	vars       map[string]*Value
-	varargs    []Value
-	hasVarargs bool
+// ---- frame and pools ----
+
+// frame carries one call's interpretation state: a flat slot array for
+// plain locals, heap boxes for captured ones, and the vararg tail. The
+// resolver fixed every variable reference to an index, so nothing here is
+// looked up by name except globals.
+type frame struct {
+	in      *Interp
+	cl      *Closure
+	chunk   string
+	depth   int
+	slots   []Value
+	boxes   []*Value
+	varargs []Value
 }
 
-func (e *environment) define(name string, v Value) {
-	if e.vars == nil {
-		e.vars = map[string]*Value{}
+var framePool = sync.Pool{New: func() any { return &frame{} }}
+
+// putFrame recycles a frame, dropping every value reference so pooled
+// frames do not pin tables or closures against the GC. Return values have
+// already been copied out (evalMulti never aliases frame storage).
+func putFrame(f *frame) {
+	s := f.slots[:cap(f.slots)]
+	clear(s)
+	f.slots = s[:0]
+	b := f.boxes[:cap(f.boxes)]
+	clear(b)
+	f.boxes = b[:0]
+	f.varargs = nil
+	f.in, f.cl = nil, nil
+	framePool.Put(f)
+}
+
+// valueBuf is a pooled []Value used for call arguments and other short-lived
+// value lists, mirroring the wire package's FrameBuffer pattern. Buffers
+// passed as arguments to GoFuncs are never recycled — builtins such as
+// assert() return their argument slice — only script-closure calls (which
+// copy what they keep into frame slots) give the buffer back.
+type valueBuf struct{ vs []Value }
+
+var valueBufPool = sync.Pool{New: func() any { return &valueBuf{vs: make([]Value, 0, 8)} }}
+
+func getValueBuf() *valueBuf { return valueBufPool.Get().(*valueBuf) }
+
+func putValueBuf(b *valueBuf) {
+	vs := b.vs[:cap(b.vs)]
+	clear(vs)
+	b.vs = vs[:0]
+	valueBufPool.Put(b)
+}
+
+// define initialises a local. Captured locals get a FRESH box on every
+// execution of their declaration, which is what gives loop bodies
+// per-iteration capture semantics.
+func (f *frame) define(li *localInfo, v Value) {
+	if li.boxed {
+		b := new(Value)
+		*b = v
+		f.boxes[li.index] = b
+	} else {
+		f.slots[li.index] = v
 	}
-	val := v
-	e.vars[name] = &val
 }
 
-// lookup finds the cell holding name, or nil if it is not a local.
-func (e *environment) lookup(name string) *Value {
-	for env := e; env != nil; env = env.parent {
-		if cell, ok := env.vars[name]; ok {
-			return cell
+func (f *frame) getName(ex *nameExpr) Value {
+	switch ex.ref.kind {
+	case varLocal:
+		li := ex.ref.li
+		if li.boxed {
+			return *f.boxes[li.index]
 		}
+		return f.slots[li.index]
+	case varUpval:
+		return *f.cl.upvals[ex.ref.idx]
+	default:
+		return f.in.globals.GetString(ex.name)
 	}
-	return nil
 }
 
-// findVarargs walks outward to the nearest function scope's varargs.
-func (e *environment) findVarargs() ([]Value, bool) {
-	for env := e; env != nil; env = env.parent {
-		if env.hasVarargs {
-			return env.varargs, true
+func (f *frame) setName(ex *nameExpr, v Value) {
+	switch ex.ref.kind {
+	case varLocal:
+		li := ex.ref.li
+		if li.boxed {
+			*f.boxes[li.index] = v
+		} else {
+			f.slots[li.index] = v
 		}
+	case varUpval:
+		*f.cl.upvals[ex.ref.idx] = v
+	default:
+		f.in.globals.SetString(ex.name, v)
 	}
-	return nil, false
 }
 
-// control describes non-linear exits from statement execution.
+// control describes non-linear exits from statement execution. It is a
+// value, not a pointer: the common fall-through case is the zero control
+// and costs no allocation.
 type ctlKind int
 
 const (
-	ctlReturn ctlKind = iota + 1
+	ctlNone ctlKind = iota
+	ctlReturn
 	ctlBreak
 )
 
 type control struct {
 	kind   ctlKind
 	values []Value
-}
-
-// frame carries per-call interpretation state.
-type frame struct {
-	in    *Interp
-	chunk string
-	depth int
 }
 
 func (f *frame) rtErr(line int, format string, args ...any) error {
@@ -246,90 +406,119 @@ func (f *frame) step(line int) error {
 	return nil
 }
 
-func (f *frame) execBlock(b *blockStmt, env *environment) (*control, error) {
-	scope := &environment{parent: env, globals: env.globals}
+// execBlock runs a statement list. Scoping was settled by the resolver, so
+// a block at run time is nothing but its statements.
+func (f *frame) execBlock(b *blockStmt) (control, error) {
 	for _, s := range b.stmts {
-		ctl, err := f.exec(s, scope)
+		ctl, err := f.exec(s)
 		if err != nil {
-			return nil, err
+			return control{}, err
 		}
-		if ctl != nil {
+		if ctl.kind != ctlNone {
 			return ctl, nil
 		}
 	}
-	return nil, nil
+	return control{}, nil
 }
 
-func (f *frame) exec(s stmt, env *environment) (*control, error) {
+func (f *frame) exec(s stmt) (control, error) {
 	if err := f.step(s.nodeLine()); err != nil {
-		return nil, err
+		return control{}, err
 	}
 	switch st := s.(type) {
 	case *blockStmt:
-		return f.execBlock(st, env)
+		return f.execBlock(st)
 	case *localStmt:
-		vals, err := f.evalMulti(st.exprs, env, len(st.names))
+		if len(st.names) == 1 && len(st.exprs) == 1 {
+			v, err := f.eval(st.exprs[0])
+			if err != nil {
+				return control{}, err
+			}
+			f.define(st.infos[0], v)
+			return control{}, nil
+		}
+		buf := getValueBuf()
+		vals, err := f.evalMultiInto(buf.vs[:0], st.exprs, len(st.names))
 		if err != nil {
-			return nil, err
+			putValueBuf(buf)
+			return control{}, err
 		}
-		for i, name := range st.names {
-			env.define(name, vals[i])
+		buf.vs = vals
+		for i, li := range st.infos {
+			f.define(li, vals[i])
 		}
-		return nil, nil
+		putValueBuf(buf)
+		return control{}, nil
 	case *localFuncStmt:
-		// Define first so the function can recurse.
-		env.define(st.name, Nil())
-		fn := f.makeClosure(st.fn, env)
-		*env.lookup(st.name) = fn
-		return nil, nil
-	case *funcStmt:
-		fn := f.makeClosure(st.fn, env)
-		return nil, f.assign(st.target, fn, env)
-	case *assignStmt:
-		vals, err := f.evalMulti(st.exprs, env, len(st.targets))
-		if err != nil {
-			return nil, err
+		// Define first so the function can recurse through its own cell.
+		f.define(st.info, Nil())
+		fn := f.makeClosure(st.fn)
+		if st.info.boxed {
+			*f.boxes[st.info.index] = fn
+		} else {
+			f.slots[st.info.index] = fn
 		}
+		return control{}, nil
+	case *funcStmt:
+		fn := f.makeClosure(st.fn)
+		return control{}, f.assign(st.target, fn)
+	case *assignStmt:
+		if len(st.targets) == 1 && len(st.exprs) == 1 {
+			v, err := f.eval(st.exprs[0])
+			if err != nil {
+				return control{}, err
+			}
+			return control{}, f.assign(st.targets[0], v)
+		}
+		buf := getValueBuf()
+		vals, err := f.evalMultiInto(buf.vs[:0], st.exprs, len(st.targets))
+		if err != nil {
+			putValueBuf(buf)
+			return control{}, err
+		}
+		buf.vs = vals
 		for i, target := range st.targets {
-			if err := f.assign(target, vals[i], env); err != nil {
-				return nil, err
+			if err := f.assign(target, vals[i]); err != nil {
+				putValueBuf(buf)
+				return control{}, err
 			}
 		}
-		return nil, nil
+		putValueBuf(buf)
+		return control{}, nil
 	case *exprStmt:
-		_, err := f.evalN(st.call, env)
-		return nil, err
+		_, err := f.evalN(st.call)
+		return control{}, err
 	case *ifStmt:
-		cond, err := f.eval(st.cond, env)
+		cond, err := f.eval(st.cond)
 		if err != nil {
-			return nil, err
+			return control{}, err
 		}
 		if cond.Truthy() {
-			return f.execBlock(st.thenBlock, env)
+			return f.execBlock(st.thenBlock)
 		}
 		if st.elseBlock != nil {
-			return f.execBlock(st.elseBlock, env)
+			return f.execBlock(st.elseBlock)
 		}
-		return nil, nil
+		return control{}, nil
 	case *whileStmt:
 		for {
 			if err := f.step(st.line); err != nil {
-				return nil, err
+				return control{}, err
 			}
-			cond, err := f.eval(st.cond, env)
+			cond, err := f.eval(st.cond)
 			if err != nil {
-				return nil, err
+				return control{}, err
 			}
 			if !cond.Truthy() {
-				return nil, nil
+				return control{}, nil
 			}
-			ctl, err := f.execBlock(st.body, env)
+			ctl, err := f.execBlock(st.body)
 			if err != nil {
-				return nil, err
+				return control{}, err
 			}
-			if ctl != nil {
+			if ctl.kind != ctlNone {
 				if ctl.kind == ctlBreak {
-					return nil, nil
+					return control{}, nil
 				}
 				return ctl, nil
 			}
@@ -337,149 +526,169 @@ func (f *frame) exec(s stmt, env *environment) (*control, error) {
 	case *repeatStmt:
 		for {
 			if err := f.step(st.line); err != nil {
-				return nil, err
+				return control{}, err
 			}
-			ctl, err := f.execBlock(st.body, env)
+			ctl, err := f.execBlock(st.body)
 			if err != nil {
-				return nil, err
+				return control{}, err
 			}
-			if ctl != nil {
+			if ctl.kind != ctlNone {
 				if ctl.kind == ctlBreak {
-					return nil, nil
+					return control{}, nil
 				}
 				return ctl, nil
 			}
-			cond, err := f.eval(st.cond, env)
+			cond, err := f.eval(st.cond)
 			if err != nil {
-				return nil, err
+				return control{}, err
 			}
 			if cond.Truthy() {
-				return nil, nil
+				return control{}, nil
 			}
 		}
 	case *numForStmt:
-		return f.execNumFor(st, env)
+		return f.execNumFor(st)
 	case *genForStmt:
-		return f.execGenFor(st, env)
+		return f.execGenFor(st)
 	case *returnStmt:
-		vals, err := f.evalMulti(st.exprs, env, -1)
+		vals, err := f.evalMulti(st.exprs, -1)
 		if err != nil {
-			return nil, err
+			return control{}, err
 		}
-		return &control{kind: ctlReturn, values: vals}, nil
+		return control{kind: ctlReturn, values: vals}, nil
 	case *breakStmt:
-		return &control{kind: ctlBreak}, nil
+		return control{kind: ctlBreak}, nil
 	default:
-		return nil, f.rtErr(s.nodeLine(), "unhandled statement %T", s)
+		return control{}, f.rtErr(s.nodeLine(), "unhandled statement %T", s)
 	}
 }
 
-func (f *frame) execNumFor(st *numForStmt, env *environment) (*control, error) {
-	start, err := f.evalNumber(st.start, env, "'for' initial value")
+func (f *frame) execNumFor(st *numForStmt) (control, error) {
+	start, err := f.evalNumber(st.start, "'for' initial value")
 	if err != nil {
-		return nil, err
+		return control{}, err
 	}
-	limit, err := f.evalNumber(st.limit, env, "'for' limit")
+	limit, err := f.evalNumber(st.limit, "'for' limit")
 	if err != nil {
-		return nil, err
+		return control{}, err
 	}
 	step := 1.0
 	if st.step != nil {
-		if step, err = f.evalNumber(st.step, env, "'for' step"); err != nil {
-			return nil, err
+		if step, err = f.evalNumber(st.step, "'for' step"); err != nil {
+			return control{}, err
 		}
 	}
 	if step == 0 {
-		return nil, f.rtErr(st.line, "'for' step is zero")
+		return control{}, f.rtErr(st.line, "'for' step is zero")
 	}
 	for i := start; (step > 0 && i <= limit) || (step < 0 && i >= limit); i += step {
 		if err := f.step(st.line); err != nil {
-			return nil, err
+			return control{}, err
 		}
-		scope := &environment{parent: env, globals: env.globals}
-		scope.define(st.name, Number(i))
-		ctl, err := f.execBlock(st.body, scope)
+		f.define(st.info, Number(i))
+		ctl, err := f.execBlock(st.body)
 		if err != nil {
-			return nil, err
+			return control{}, err
 		}
-		if ctl != nil {
+		if ctl.kind != ctlNone {
 			if ctl.kind == ctlBreak {
-				return nil, nil
+				return control{}, nil
 			}
 			return ctl, nil
 		}
 	}
-	return nil, nil
+	return control{}, nil
 }
 
 // execGenFor implements the Lua iterator protocol:
 // for v1,...,vn in f, s, ctl do body end — each iteration calls f(s, ctl).
-func (f *frame) execGenFor(st *genForStmt, env *environment) (*control, error) {
-	vals, err := f.evalMulti(st.exprs, env, 3)
+func (f *frame) execGenFor(st *genForStmt) (control, error) {
+	buf := getValueBuf()
+	vals, err := f.evalMultiInto(buf.vs[:0], st.exprs, 3)
 	if err != nil {
-		return nil, err
+		putValueBuf(buf)
+		return control{}, err
 	}
+	buf.vs = vals
 	iter, state, ctlVar := vals[0], vals[1], vals[2]
+	putValueBuf(buf)
+	// Script-closure iterators copy their arguments into frame slots, so
+	// one pooled pair buffer can be reused every iteration. Host iterators
+	// may retain the slice, so they get a fresh one each time.
+	var pairBuf *valueBuf
+	if iter.cl != nil {
+		pairBuf = getValueBuf()
+		defer putValueBuf(pairBuf)
+	}
 	for {
 		if err := f.step(st.line); err != nil {
-			return nil, err
+			return control{}, err
 		}
-		rets, err := f.in.call(iter, []Value{state, ctlVar}, f.depth+1)
+		var pair []Value
+		if pairBuf != nil {
+			pair = append(pairBuf.vs[:0], state, ctlVar)
+			pairBuf.vs = pair
+		} else {
+			pair = []Value{state, ctlVar}
+		}
+		rets, err := f.in.call(iter, pair, f.depth+1)
 		if err != nil {
-			return nil, err
+			return control{}, err
 		}
 		var first Value
 		if len(rets) > 0 {
 			first = rets[0]
 		}
 		if first.IsNil() {
-			return nil, nil
+			return control{}, nil
 		}
 		ctlVar = first
-		scope := &environment{parent: env, globals: env.globals}
-		for i, name := range st.names {
+		for i, li := range st.infos {
 			v := Nil()
 			if i < len(rets) {
 				v = rets[i]
 			}
-			scope.define(name, v)
+			f.define(li, v)
 		}
-		c, err := f.execBlock(st.body, scope)
+		c, err := f.execBlock(st.body)
 		if err != nil {
-			return nil, err
+			return control{}, err
 		}
-		if c != nil {
+		if c.kind != ctlNone {
 			if c.kind == ctlBreak {
-				return nil, nil
+				return control{}, nil
 			}
 			return c, nil
 		}
 	}
 }
 
-func (f *frame) makeClosure(fe *funcExpr, env *environment) Value {
-	proto := &funcProto{
-		params:   fe.params,
-		isVararg: fe.isVararg,
-		body:     fe.body,
-		name:     fe.name,
-		chunk:    f.chunk,
-		line:     fe.line,
+// makeClosure instantiates a closure over the resolver-shared proto. Only
+// the capture list is per-instance; capture-free functions share nothing
+// but the proto pointer.
+func (f *frame) makeClosure(fe *funcExpr) Value {
+	p := fe.proto
+	if len(p.upvals) == 0 {
+		return closureVal(&Closure{proto: p})
 	}
-	return closureVal(&Closure{proto: proto, env: env})
+	ups := make([]*Value, len(p.upvals))
+	for i, ud := range p.upvals {
+		if ud.fromParent {
+			ups[i] = f.boxes[ud.li.index]
+		} else {
+			ups[i] = f.cl.upvals[ud.idx]
+		}
+	}
+	return closureVal(&Closure{proto: p, upvals: ups})
 }
 
-func (f *frame) assign(target expr, v Value, env *environment) error {
+func (f *frame) assign(target expr, v Value) error {
 	switch t := target.(type) {
 	case *nameExpr:
-		if cell := env.lookup(t.name); cell != nil {
-			*cell = v
-			return nil
-		}
-		env.globals.SetString(t.name, v)
+		f.setName(t, v)
 		return nil
 	case *indexExpr:
-		obj, err := f.eval(t.obj, env)
+		obj, err := f.eval(t.obj)
 		if err != nil {
 			return err
 		}
@@ -487,7 +696,7 @@ func (f *frame) assign(target expr, v Value, env *environment) error {
 		if !ok {
 			return f.rtErr(t.line, "attempt to index a %s value", obj.Kind())
 		}
-		key, err := f.eval(t.key, env)
+		key, err := f.eval(t.key)
 		if err != nil {
 			return err
 		}
@@ -503,18 +712,45 @@ func (f *frame) assign(target expr, v Value, env *environment) error {
 // evalMulti evaluates an expression list with Lua multi-value semantics:
 // every expression yields one value except the last, which expands if it is
 // a call or vararg. want < 0 keeps every value; otherwise the result is
-// padded/truncated to want.
-func (f *frame) evalMulti(exprs []expr, env *environment, want int) ([]Value, error) {
-	var out []Value
+// padded/truncated to want. The returned slice never aliases frame storage
+// or callee buffers — it is always freshly appended — so callers may retain
+// it past pool recycling.
+func (f *frame) evalMulti(exprs []expr, want int) ([]Value, error) {
+	// Fast path for the dominant "return <one expr>" shape. A call's result
+	// slice can pass through untouched: closure returns are freshly built
+	// and GoFunc returns are never recycled, so no consumer mutates them.
+	// Varargs must still copy — f.varargs aliases the caller's pooled
+	// argument buffer, which is recycled as soon as this call returns.
+	if want < 0 && len(exprs) == 1 {
+		switch exprs[0].(type) {
+		case *callExpr, *methodCallExpr:
+			return f.evalN(exprs[0])
+		case *varargExpr:
+			return append([]Value(nil), f.varargs...), nil
+		default:
+			v, err := f.eval(exprs[0])
+			if err != nil {
+				return nil, err
+			}
+			return []Value{v}, nil
+		}
+	}
+	return f.evalMultiInto(nil, exprs, want)
+}
+
+// evalMultiInto is evalMulti appending into dst (typically a pooled
+// buffer's empty slice) to avoid garbage on hot statement paths.
+func (f *frame) evalMultiInto(dst []Value, exprs []expr, want int) ([]Value, error) {
+	out := dst
 	for i, e := range exprs {
 		if i == len(exprs)-1 {
-			vs, err := f.evalN(e, env)
+			vs, err := f.evalN(e)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, vs...)
 		} else {
-			v, err := f.eval(e, env)
+			v, err := f.eval(e)
 			if err != nil {
 				return nil, err
 			}
@@ -531,24 +767,33 @@ func (f *frame) evalMulti(exprs []expr, env *environment, want int) ([]Value, er
 }
 
 // evalN evaluates e, preserving multiple results for calls and varargs.
-func (f *frame) evalN(e expr, env *environment) ([]Value, error) {
+func (f *frame) evalN(e expr) ([]Value, error) {
 	switch ex := e.(type) {
 	case *callExpr:
-		fn, err := f.eval(ex.fn, env)
+		fn, err := f.eval(ex.fn)
 		if err != nil {
 			return nil, err
 		}
-		args, err := f.evalMulti(ex.args, env, -1)
+		buf := getValueBuf()
+		args, err := f.evalMultiInto(buf.vs[:0], ex.args, -1)
 		if err != nil {
+			putValueBuf(buf)
 			return nil, err
 		}
+		buf.vs = args
 		rets, err := f.in.call(fn, args, f.depth+1)
+		if fn.cl != nil {
+			// Closure calls copy arguments into their frame and return
+			// freshly built slices, so the arg buffer can be recycled.
+			// GoFuncs may retain args (assert returns them) — leak those.
+			putValueBuf(buf)
+		}
 		if err != nil {
 			return nil, f.wrapCallErr(ex.line, err)
 		}
 		return rets, nil
 	case *methodCallExpr:
-		obj, err := f.eval(ex.obj, env)
+		obj, err := f.eval(ex.obj)
 		if err != nil {
 			return nil, err
 		}
@@ -558,31 +803,33 @@ func (f *frame) evalN(e expr, env *environment) ([]Value, error) {
 			fn = obj.t.GetString(ex.name)
 		case KindString:
 			// s:len() etc. resolve through the string library.
-			if lib, ok := env.globals.GetString("string").AsTable(); ok {
+			if lib, ok := f.in.globals.GetString("string").AsTable(); ok {
 				fn = lib.GetString(ex.name)
 			}
 		}
 		if fn.IsNil() {
 			return nil, f.rtErr(ex.line, "attempt to call method %q on a %s value", ex.name, obj.Kind())
 		}
-		args, err := f.evalMulti(ex.args, env, -1)
+		buf := getValueBuf()
+		args, err := f.evalMultiInto(append(buf.vs[:0], obj), ex.args, -1)
 		if err != nil {
+			putValueBuf(buf)
 			return nil, err
 		}
-		args = append([]Value{obj}, args...)
+		buf.vs = args
 		rets, err := f.in.call(fn, args, f.depth+1)
+		if fn.cl != nil {
+			putValueBuf(buf)
+		}
 		if err != nil {
 			return nil, f.wrapCallErr(ex.line, err)
 		}
 		return rets, nil
 	case *varargExpr:
-		va, ok := env.findVarargs()
-		if !ok {
-			return nil, f.rtErr(ex.line, "cannot use '...' outside a vararg function")
-		}
-		return va, nil
+		// Resolver guarantees we are inside a vararg function.
+		return f.varargs, nil
 	default:
-		v, err := f.eval(e, env)
+		v, err := f.eval(e)
 		if err != nil {
 			return nil, err
 		}
@@ -606,8 +853,8 @@ func (f *frame) wrapCallErr(line int, err error) error {
 	return &RuntimeError{Chunk: f.chunk, Line: line, Msg: err.Error()}
 }
 
-func (f *frame) evalNumber(e expr, env *environment, what string) (float64, error) {
-	v, err := f.eval(e, env)
+func (f *frame) evalNumber(e expr, what string) (float64, error) {
+	v, err := f.eval(e)
 	if err != nil {
 		return 0, err
 	}
@@ -618,32 +865,26 @@ func (f *frame) evalNumber(e expr, env *environment, what string) (float64, erro
 	return n, nil
 }
 
-func (f *frame) eval(e expr, env *environment) (Value, error) {
-	if err := f.step(e.nodeLine()); err != nil {
-		return Nil(), err
-	}
+func (f *frame) eval(e expr) (Value, error) {
 	switch ex := e.(type) {
-	case *nilExpr:
-		return Nil(), nil
-	case *boolExpr:
-		return Bool(ex.val), nil
+	case *nameExpr:
+		return f.getName(ex), nil
 	case *numberExpr:
 		return Number(ex.val), nil
 	case *stringExpr:
 		return String(ex.val), nil
-	case *nameExpr:
-		if cell := env.lookup(ex.name); cell != nil {
-			return *cell, nil
-		}
-		return env.globals.GetString(ex.name), nil
+	case *boolExpr:
+		return Bool(ex.val), nil
+	case *nilExpr:
+		return Nil(), nil
 	case *parenExpr:
-		return f.eval(ex.e, env)
+		return f.eval(ex.e)
 	case *indexExpr:
-		obj, err := f.eval(ex.obj, env)
+		obj, err := f.eval(ex.obj)
 		if err != nil {
 			return Nil(), err
 		}
-		key, err := f.eval(ex.key, env)
+		key, err := f.eval(ex.key)
 		if err != nil {
 			return Nil(), err
 		}
@@ -652,7 +893,7 @@ func (f *frame) eval(e expr, env *environment) (Value, error) {
 			return obj.t.Get(key), nil
 		case KindString:
 			// Allow s:len()-style access through the string library table.
-			lib, ok := env.globals.GetString("string").AsTable()
+			lib, ok := f.in.globals.GetString("string").AsTable()
 			if ok {
 				return lib.Get(key), nil
 			}
@@ -661,9 +902,9 @@ func (f *frame) eval(e expr, env *environment) (Value, error) {
 			return Nil(), f.rtErr(ex.line, "attempt to index a %s value (key %s)", obj.Kind(), key.ToString())
 		}
 	case *funcExpr:
-		return f.makeClosure(ex, env), nil
+		return f.makeClosure(ex), nil
 	case *callExpr, *methodCallExpr, *varargExpr:
-		vs, err := f.evalN(e, env)
+		vs, err := f.evalN(e)
 		if err != nil {
 			return Nil(), err
 		}
@@ -676,7 +917,7 @@ func (f *frame) eval(e expr, env *environment) (Value, error) {
 		for i, item := range ex.arrayItems {
 			if i == len(ex.arrayItems)-1 && len(ex.keys) == 0 {
 				// Last positional item expands multi-values.
-				vs, err := f.evalN(item, env)
+				vs, err := f.evalN(item)
 				if err != nil {
 					return Nil(), err
 				}
@@ -684,7 +925,7 @@ func (f *frame) eval(e expr, env *environment) (Value, error) {
 					t.Append(v)
 				}
 			} else {
-				v, err := f.eval(item, env)
+				v, err := f.eval(item)
 				if err != nil {
 					return Nil(), err
 				}
@@ -692,11 +933,11 @@ func (f *frame) eval(e expr, env *environment) (Value, error) {
 			}
 		}
 		for i := range ex.keys {
-			k, err := f.eval(ex.keys[i], env)
+			k, err := f.eval(ex.keys[i])
 			if err != nil {
 				return Nil(), err
 			}
-			v, err := f.eval(ex.vals[i], env)
+			v, err := f.eval(ex.vals[i])
 			if err != nil {
 				return Nil(), err
 			}
@@ -706,16 +947,16 @@ func (f *frame) eval(e expr, env *environment) (Value, error) {
 		}
 		return TableVal(t), nil
 	case *unExpr:
-		return f.evalUnary(ex, env)
+		return f.evalUnary(ex)
 	case *binExpr:
-		return f.evalBinary(ex, env)
+		return f.evalBinary(ex)
 	default:
 		return Nil(), f.rtErr(e.nodeLine(), "unhandled expression %T", e)
 	}
 }
 
-func (f *frame) evalUnary(ex *unExpr, env *environment) (Value, error) {
-	v, err := f.eval(ex.e, env)
+func (f *frame) evalUnary(ex *unExpr) (Value, error) {
+	v, err := f.eval(ex.e)
 	if err != nil {
 		return Nil(), err
 	}
@@ -742,37 +983,43 @@ func (f *frame) evalUnary(ex *unExpr, env *environment) (Value, error) {
 	}
 }
 
-func (f *frame) evalBinary(ex *binExpr, env *environment) (Value, error) {
+func (f *frame) evalBinary(ex *binExpr) (Value, error) {
 	// Short-circuit operators first.
 	switch ex.op {
 	case tokAnd:
-		lhs, err := f.eval(ex.lhs, env)
+		lhs, err := f.eval(ex.lhs)
 		if err != nil {
 			return Nil(), err
 		}
 		if !lhs.Truthy() {
 			return lhs, nil
 		}
-		return f.eval(ex.rhs, env)
+		return f.eval(ex.rhs)
 	case tokOr:
-		lhs, err := f.eval(ex.lhs, env)
+		lhs, err := f.eval(ex.lhs)
 		if err != nil {
 			return Nil(), err
 		}
 		if lhs.Truthy() {
 			return lhs, nil
 		}
-		return f.eval(ex.rhs, env)
+		return f.eval(ex.rhs)
 	}
-	lhs, err := f.eval(ex.lhs, env)
+	lhs, err := f.eval(ex.lhs)
 	if err != nil {
 		return Nil(), err
 	}
-	rhs, err := f.eval(ex.rhs, env)
+	rhs, err := f.eval(ex.rhs)
 	if err != nil {
 		return Nil(), err
 	}
 	switch ex.op {
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent, tokCaret:
+		if lhs.kind == KindNumber && rhs.kind == KindNumber {
+			return Number(arith(ex.op, lhs.n, rhs.n)), nil
+		}
+		return Nil(), f.rtErr(ex.line, "attempt to perform arithmetic on a %s value",
+			pickBadKind(lhs, rhs, lhs.kind == KindNumber))
 	case tokEq:
 		return Bool(lhs.Equal(rhs)), nil
 	case tokNe:
@@ -787,14 +1034,6 @@ func (f *frame) evalBinary(ex *binExpr, env *environment) (Value, error) {
 		return String(ls + rs), nil
 	case tokLt, tokLe, tokGt, tokGe:
 		return f.compare(ex, lhs, rhs)
-	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent, tokCaret:
-		ln, lok := lhs.AsNumber()
-		rn, rok := rhs.AsNumber()
-		if !lok || !rok {
-			return Nil(), f.rtErr(ex.line, "attempt to perform arithmetic on a %s value",
-				pickBadKind(lhs, rhs, lok))
-		}
-		return Number(arith(ex.op, ln, rn)), nil
 	default:
 		return Nil(), f.rtErr(ex.line, "unhandled operator %s", ex.op)
 	}
@@ -860,19 +1099,28 @@ func pow(a, b float64) float64 {
 	return mathPow(a, b)
 }
 
-func (f *frame) compare(ex *binExpr, lhs, rhs Value) (Value, error) {
-	var res int
+// compareValues orders two values (-1/0/1) when they are comparable: both
+// numbers or both strings. Shared by the runtime and the resolver's
+// constant folder.
+func compareValues(lhs, rhs Value) (int, bool) {
 	switch {
-	case lhs.Kind() == KindNumber && rhs.Kind() == KindNumber:
+	case lhs.kind == KindNumber && rhs.kind == KindNumber:
 		switch {
 		case lhs.n < rhs.n:
-			res = -1
+			return -1, true
 		case lhs.n > rhs.n:
-			res = 1
+			return 1, true
 		}
-	case lhs.Kind() == KindString && rhs.Kind() == KindString:
-		res = strings.Compare(lhs.s, rhs.s)
-	default:
+		return 0, true
+	case lhs.kind == KindString && rhs.kind == KindString:
+		return strings.Compare(lhs.s, rhs.s), true
+	}
+	return 0, false
+}
+
+func (f *frame) compare(ex *binExpr, lhs, rhs Value) (Value, error) {
+	res, ok := compareValues(lhs, rhs)
+	if !ok {
 		return Nil(), f.rtErr(ex.line, "attempt to compare %s with %s", lhs.Kind(), rhs.Kind())
 	}
 	switch ex.op {

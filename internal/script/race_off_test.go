@@ -1,0 +1,5 @@
+//go:build !race
+
+package script
+
+const raceEnabled = false

@@ -13,6 +13,22 @@
 //
 // The interpreter is a tree walker with a per-call step budget so that code
 // received from remote, semi-trusted peers cannot spin a monitor forever.
+// Compilation runs parse → resolve (resolve.go turns every variable
+// reference into an integer slot, box or upvalue index and folds constant
+// subexpressions) → a content-addressed chunk cache (cache.go), so sources
+// that arrive repeatedly over the wire compile once.
+//
+// # Concurrency
+//
+// An Interp is single-goroutine: it owns a mutable globals table and the
+// per-call step budget, so hosts sharing one Interp across goroutines must
+// serialize every Eval/Call (see internal/monitor for the locked pattern).
+// A *ChunkCache, by contrast, is internally synchronized and designed to be
+// shared: many Interp values on many goroutines may point at one cache
+// (Options.Cache), and the compiled funcProto values it returns are
+// immutable after resolution, so concurrent compiles and calls through a
+// shared cache are race-free as long as each Interp itself stays on one
+// goroutine at a time.
 package script
 
 import (
@@ -26,8 +42,9 @@ import (
 
 // Kind identifies the dynamic type of a script Value. It extends the wire
 // kinds with functions, which exist only inside an interpreter and cannot
-// cross the network except as source text.
-type Kind int
+// cross the network except as source text. (uint8 keeps Value compact —
+// the interpreter copies Values constantly.)
+type Kind uint8
 
 // Script value kinds.
 const (
@@ -73,10 +90,13 @@ type GoFunc struct {
 	Fn   func(in *Interp, args []Value) ([]Value, error)
 }
 
-// Closure is a compiled script function plus its captured environment.
+// Closure is a compiled script function plus the cells it captured. The
+// proto is shared by every closure made from the same function literal;
+// upvals holds one pointer per captured variable (empty for functions that
+// capture nothing).
 type Closure struct {
-	proto *funcProto
-	env   *environment
+	proto  *funcProto
+	upvals []*Value
 }
 
 // Name reports the chunk-qualified name of the closure for diagnostics.
@@ -88,15 +108,19 @@ func (c *Closure) Name() string {
 }
 
 // Value is a dynamically typed script value. The zero Value is nil.
+//
+// The layout is deliberately tight (64 bytes): the tree walker passes and
+// copies Values on every expression, so the rare object-reference payload
+// lives behind a pointer instead of inlining wire.ObjRef's two strings.
 type Value struct {
-	kind Kind
-	b    bool
 	n    float64
 	s    string
 	t    *Table
-	r    wire.ObjRef
+	r    *wire.ObjRef
 	cl   *Closure
 	gf   *GoFunc
+	kind Kind
+	b    bool
 }
 
 // Constructors.
@@ -128,7 +152,7 @@ func TableVal(t *Table) Value {
 }
 
 // Ref wraps an object reference.
-func Ref(r wire.ObjRef) Value { return Value{kind: KindObjRef, r: r} }
+func Ref(r wire.ObjRef) Value { return Value{kind: KindObjRef, r: &r} }
 
 // Func wraps a host builtin.
 func Func(name string, fn func(in *Interp, args []Value) ([]Value, error)) Value {
@@ -169,7 +193,12 @@ func (v Value) AsBytes() ([]byte, bool) {
 func (v Value) AsTable() (*Table, bool) { return v.t, v.kind == KindTable }
 
 // AsRef returns the object-reference payload.
-func (v Value) AsRef() (wire.ObjRef, bool) { return v.r, v.kind == KindObjRef }
+func (v Value) AsRef() (wire.ObjRef, bool) {
+	if v.kind != KindObjRef {
+		return wire.ObjRef{}, false
+	}
+	return *v.r, true
+}
 
 // AsClosure returns the script closure payload, if the value is a script
 // (not host) function.
@@ -219,7 +248,7 @@ func (v Value) Equal(w Value) bool {
 	case KindString, KindBytes:
 		return v.s == w.s
 	case KindObjRef:
-		return v.r == w.r
+		return *v.r == *w.r
 	case KindTable:
 		return v.t == w.t
 	case KindFunction:
@@ -274,7 +303,7 @@ func (v Value) ToWire() (wire.Value, error) {
 	case KindBytes:
 		return wire.Bytes([]byte(v.s)), nil
 	case KindObjRef:
-		return wire.Ref(v.r), nil
+		return wire.Ref(*v.r), nil
 	case KindTable:
 		out := wire.NewTable()
 		var convErr error
@@ -343,8 +372,13 @@ func FromWire(v wire.Value) Value {
 
 // Table is the script's associative array, mirroring wire.Table but able to
 // hold functions. Not safe for concurrent mutation.
+//
+// String keys — field access, method dispatch, the globals table — dominate
+// script workloads, so they live in their own map keyed directly by string
+// instead of going through the wide tableKey struct.
 type Table struct {
 	arr  []Value
+	strs map[string]Value
 	hash map[tableKey]Value
 }
 
@@ -371,7 +405,7 @@ func toKey(v Value) (tableKey, error) {
 	case KindString:
 		return tableKey{kind: KindString, s: v.s}, nil
 	case KindObjRef:
-		return tableKey{kind: KindObjRef, r: v.r}, nil
+		return tableKey{kind: KindObjRef, r: *v.r}, nil
 	case KindTable:
 		return tableKey{kind: KindTable, t: v.t}, nil
 	case KindFunction:
@@ -426,6 +460,9 @@ func (t *Table) Index(i int) Value {
 
 // Get returns the value under key, or nil.
 func (t *Table) Get(key Value) Value {
+	if key.kind == KindString {
+		return t.strs[key.s]
+	}
 	if key.kind == KindNumber && key.n == math.Trunc(key.n) {
 		i := int(key.n)
 		if i >= 1 && i <= len(t.arr) {
@@ -440,11 +477,15 @@ func (t *Table) Get(key Value) Value {
 }
 
 // GetString returns the value under a string key.
-func (t *Table) GetString(name string) Value { return t.Get(String(name)) }
+func (t *Table) GetString(name string) Value { return t.strs[name] }
 
 // Set stores v under key; nil values delete. Contiguous integer keys extend
 // the array part.
 func (t *Table) Set(key, v Value) error {
+	if key.kind == KindString {
+		t.SetString(key.s, v)
+		return nil
+	}
 	if key.kind == KindNumber && key.n == math.Trunc(key.n) && !math.IsNaN(key.n) {
 		i := int(key.n)
 		if i >= 1 && i <= len(t.arr) {
@@ -485,14 +526,21 @@ func (t *Table) Set(key, v Value) error {
 	return nil
 }
 
-// SetString stores v under a string key.
+// SetString stores v under a string key; nil values delete.
 func (t *Table) SetString(name string, v Value) {
-	_ = t.Set(String(name), v) // string keys never error
+	if v.IsNil() {
+		delete(t.strs, name)
+		return
+	}
+	if t.strs == nil {
+		t.strs = make(map[string]Value)
+	}
+	t.strs[name] = v
 }
 
 // Size reports the number of stored pairs.
 func (t *Table) Size() int {
-	n := len(t.hash)
+	n := len(t.hash) + len(t.strs)
 	for _, v := range t.arr {
 		if !v.IsNil() {
 			n++
@@ -501,7 +549,8 @@ func (t *Table) Size() int {
 	return n
 }
 
-// Pairs iterates array part then hash part in deterministic order.
+// Pairs iterates array part then hash part in deterministic order (string
+// keys sort among the other kinds exactly as when they shared one map).
 func (t *Table) Pairs(fn func(k, v Value) bool) {
 	for i, v := range t.arr {
 		if v.IsNil() {
@@ -511,13 +560,23 @@ func (t *Table) Pairs(fn func(k, v Value) bool) {
 			return
 		}
 	}
-	keys := make([]tableKey, 0, len(t.hash))
+	keys := make([]tableKey, 0, len(t.hash)+len(t.strs))
 	for k := range t.hash {
 		keys = append(keys, k)
 	}
+	for s := range t.strs {
+		keys = append(keys, tableKey{kind: KindString, s: s})
+	}
 	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
 	for _, k := range keys {
-		if !fn(k.value(), t.hash[k]) {
+		v, ok := t.hash[k]
+		if k.kind == KindString {
+			v, ok = t.strs[k.s]
+		}
+		if !ok {
+			continue
+		}
+		if !fn(k.value(), v) {
 			return
 		}
 	}
