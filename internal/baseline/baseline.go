@@ -27,6 +27,16 @@ type Invoker interface {
 	Invoke(ctx context.Context, op string, args ...wire.Value) ([]wire.Value, error)
 }
 
+// AsyncInvoker extends Invoker with pipelined invocation: InvokeAsync
+// selects a target with the policy's usual rule and issues the request
+// without waiting for its reply, so an open-loop driver can keep a window
+// of calls in flight. Selection happens at issue time; async invocations
+// are single-attempt (no retry, no mid-flight re-selection).
+type AsyncInvoker interface {
+	Invoker
+	InvokeAsync(ctx context.Context, op string, args ...wire.Value) (*orb.Future, error)
+}
+
 // ErrNoOffers is returned when binding finds no exported offers.
 var ErrNoOffers = errors.New("baseline: no offers available")
 
@@ -86,6 +96,17 @@ func (s *Static) Invoke(ctx context.Context, op string, args ...wire.Value) ([]w
 	return p.Call(ctx, op, args...)
 }
 
+// InvokeAsync implements AsyncInvoker.
+func (s *Static) InvokeAsync(ctx context.Context, op string, args ...wire.Value) (*orb.Future, error) {
+	s.mu.Lock()
+	p := s.proxy
+	s.mu.Unlock()
+	if p == nil {
+		return nil, errors.New("baseline: static client not bound")
+	}
+	return p.CallAsync(ctx, op, args...)
+}
+
 // listBound is the shared machinery of RoundRobin and Random: a one-time
 // query for every offer of the type.
 type listBound struct {
@@ -130,15 +151,31 @@ func (r *RoundRobin) Bind(ctx context.Context) error { return r.bind(ctx) }
 
 // Invoke implements Invoker.
 func (r *RoundRobin) Invoke(ctx context.Context, op string, args ...wire.Value) ([]wire.Value, error) {
+	ref, err := r.nextRef()
+	if err != nil {
+		return nil, err
+	}
+	return r.client.Invoke(ctx, ref, op, args...)
+}
+
+// InvokeAsync implements AsyncInvoker: rotation advances at issue time.
+func (r *RoundRobin) InvokeAsync(ctx context.Context, op string, args ...wire.Value) (*orb.Future, error) {
+	ref, err := r.nextRef()
+	if err != nil {
+		return nil, err
+	}
+	return r.client.InvokeAsync(ctx, ref, op, args...)
+}
+
+func (r *RoundRobin) nextRef() (wire.ObjRef, error) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.refs) == 0 {
-		r.mu.Unlock()
-		return nil, ErrNoOffers
+		return wire.ObjRef{}, ErrNoOffers
 	}
 	ref := r.refs[r.next%len(r.refs)]
 	r.next++
-	r.mu.Unlock()
-	return r.client.Invoke(ctx, ref, op, args...)
+	return ref, nil
 }
 
 // Random picks a uniformly random offer per invocation, from a seeded
@@ -161,12 +198,27 @@ func (r *Random) Bind(ctx context.Context) error { return r.bind(ctx) }
 
 // Invoke implements Invoker.
 func (r *Random) Invoke(ctx context.Context, op string, args ...wire.Value) ([]wire.Value, error) {
-	r.mu.Lock()
-	if len(r.refs) == 0 {
-		r.mu.Unlock()
-		return nil, ErrNoOffers
+	ref, err := r.randRef()
+	if err != nil {
+		return nil, err
 	}
-	ref := r.refs[r.rng.Intn(len(r.refs))]
-	r.mu.Unlock()
 	return r.client.Invoke(ctx, ref, op, args...)
+}
+
+// InvokeAsync implements AsyncInvoker: the draw happens at issue time.
+func (r *Random) InvokeAsync(ctx context.Context, op string, args ...wire.Value) (*orb.Future, error) {
+	ref, err := r.randRef()
+	if err != nil {
+		return nil, err
+	}
+	return r.client.InvokeAsync(ctx, ref, op, args...)
+}
+
+func (r *Random) randRef() (wire.ObjRef, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.refs) == 0 {
+		return wire.ObjRef{}, ErrNoOffers
+	}
+	return r.refs[r.rng.Intn(len(r.refs))], nil
 }

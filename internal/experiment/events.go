@@ -115,13 +115,14 @@ func EventVsPolling(cfg EventVsPollingConfig) ([]EventVsPollingResult, error) {
 		// Monitor with synchronous notification so counts are exact.
 		m, err := monitor.New(monitor.Options{
 			Name: "Prop",
-			Notifier: monitor.NotifierFunc(func(ref wire.ObjRef, eventID string) {
+			Notifier: monitor.NotifierFunc(func(ref wire.ObjRef, eventID string) error {
 				mu.Lock()
 				interactions++ // one oneway message monitor→observer
 				mu.Unlock()
 				if eventID == "Crossed" {
 					recordDetection()
 				}
+				return nil
 			}),
 		})
 		if err != nil {

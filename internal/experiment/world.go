@@ -54,8 +54,9 @@ type WorldConfig struct {
 // monitor tick completes only after observers have seen their events.
 type syncNotifier struct{ client *orb.Client }
 
-func (n syncNotifier) Notify(ref wire.ObjRef, eventID string) {
-	_, _ = n.client.Invoke(context.Background(), ref, "notifyEvent", wire.String(eventID))
+func (n syncNotifier) Notify(ref wire.ObjRef, eventID string) error {
+	_, err := n.client.Invoke(context.Background(), ref, "notifyEvent", wire.String(eventID))
+	return err
 }
 
 // NewWorld assembles the deployment. Close releases everything.

@@ -13,8 +13,9 @@ import (
 func ExampleMonitor() {
 	m, err := monitor.New(monitor.Options{
 		Name: "LoadAvg",
-		Notifier: monitor.NotifierFunc(func(observer wire.ObjRef, eventID string) {
+		Notifier: monitor.NotifierFunc(func(observer wire.ObjRef, eventID string) error {
 			fmt.Println("notified:", eventID)
+			return nil
 		}),
 	})
 	if err != nil {

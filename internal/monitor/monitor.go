@@ -69,16 +69,25 @@ var (
 type UpdateFunc func() (wire.Value, error)
 
 // Notifier delivers event notifications to observers. The production
-// implementation wraps an orb.Client oneway call; tests may record.
+// implementation wraps an orb.Client oneway call; tests may record. The
+// returned error feeds the monitor's quarantine: after
+// Options.MaxNotifyFailures consecutive failures an observer is detached,
+// so one dead observer cannot burn delivery work on every tick forever.
 type Notifier interface {
-	Notify(observer wire.ObjRef, eventID string)
+	Notify(observer wire.ObjRef, eventID string) error
 }
 
 // NotifierFunc adapts a function to Notifier.
-type NotifierFunc func(observer wire.ObjRef, eventID string)
+type NotifierFunc func(observer wire.ObjRef, eventID string) error
 
 // Notify implements Notifier.
-func (f NotifierFunc) Notify(observer wire.ObjRef, eventID string) { f(observer, eventID) }
+func (f NotifierFunc) Notify(observer wire.ObjRef, eventID string) error {
+	return f(observer, eventID)
+}
+
+// DefaultMaxNotifyFailures is the consecutive-failure quarantine threshold
+// applied when Options.MaxNotifyFailures is zero.
+const DefaultMaxNotifyFailures = 3
 
 // Options configures a monitor.
 type Options struct {
@@ -101,6 +110,10 @@ type Options struct {
 	Notifier Notifier
 	// Logger receives script errors from shipped code. Nil discards.
 	Logger *log.Logger
+	// MaxNotifyFailures detaches an observer after this many consecutive
+	// failed notifications (a successful delivery resets the count). Zero
+	// means DefaultMaxNotifyFailures; negative disables the quarantine.
+	MaxNotifyFailures int
 	// MaxScriptSteps bounds each shipped-code evaluation (see script
 	// package). Zero applies script.DefaultMaxSteps.
 	MaxScriptSteps int
@@ -134,6 +147,12 @@ type observer struct {
 	ref     wire.ObjRef
 	eventID string
 	fn      script.Value // function(observer, value, monitor)
+
+	// sink, when non-nil, makes this a push observer: detections stream to
+	// the subscriber as ORB events instead of oneway notifyEvent calls.
+	sink orb.EventSink
+	// failures counts consecutive failed notifications (quarantine).
+	failures int
 }
 
 // Monitor observes one property. It implements the paper's BasicMonitor,
@@ -292,8 +311,6 @@ func (m *Monitor) Close() {
 // notifications for those that fire. Notifications are delivered outside
 // the monitor lock.
 func (m *Monitor) Tick() error {
-	var toNotify []*observer
-
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -319,7 +336,19 @@ func (m *Monitor) Tick() error {
 			m.value = vs[0]
 		}
 	}
-	// 2. Recompute aspects (sorted for determinism).
+	toNotify, val := m.detectLocked()
+	m.mu.Unlock()
+
+	m.deliver(toNotify, val)
+	return nil
+}
+
+// detectLocked recomputes every aspect and evaluates every observer's
+// predicate (both sorted for determinism), returning the observers whose
+// events fired plus a wire snapshot of the property value to push with
+// them. Caller holds m.mu.
+func (m *Monitor) detectLocked() ([]*observer, wire.Value) {
+	// Recompute aspects.
 	names := make([]string, 0, len(m.aspects))
 	for n := range m.aspects {
 		names = append(names, n)
@@ -338,7 +367,8 @@ func (m *Monitor) Tick() error {
 			a.value = script.Nil()
 		}
 	}
-	// 3. Event detection.
+	// Event detection.
+	var toNotify []*observer
 	ids := make([]int, 0, len(m.observers))
 	for id := range m.observers {
 		ids = append(ids, id)
@@ -346,7 +376,10 @@ func (m *Monitor) Tick() error {
 	sort.Ints(ids)
 	for _, id := range ids {
 		o := m.observers[id]
-		obsArg := script.Ref(o.ref)
+		obsArg := script.Nil()
+		if !o.ref.IsZero() {
+			obsArg = script.Ref(o.ref)
+		}
 		vs, err := m.in.Call(o.fn, []script.Value{obsArg, m.value, m.selfTable})
 		if err != nil {
 			m.logf("monitor %s: predicate for %s: %v", m.opts.Name, o.eventID, err)
@@ -356,15 +389,85 @@ func (m *Monitor) Tick() error {
 			toNotify = append(toNotify, o)
 		}
 	}
-	m.mu.Unlock()
-
-	// 4. Notify outside the lock (oneway semantics: fire and forget).
-	if m.opts.Notifier != nil {
-		for _, o := range toNotify {
-			m.opts.Notifier.Notify(o.ref, o.eventID)
+	val := wire.Nil()
+	if len(toNotify) > 0 {
+		if v, err := m.value.ToWire(); err == nil {
+			val = v
 		}
 	}
-	return nil
+	return toNotify, val
+}
+
+// hasPushObserversLocked reports whether any observer streams through a
+// subscription sink. Caller holds m.mu.
+func (m *Monitor) hasPushObserversLocked() bool {
+	for _, o := range m.observers {
+		if o.sink != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// maxNotifyFailures resolves the quarantine threshold (0 = disabled).
+func (m *Monitor) maxNotifyFailures() int {
+	switch {
+	case m.opts.MaxNotifyFailures > 0:
+		return m.opts.MaxNotifyFailures
+	case m.opts.MaxNotifyFailures < 0:
+		return 0
+	default:
+		return DefaultMaxNotifyFailures
+	}
+}
+
+// deliver sends the fired events outside the monitor lock — pushed onto
+// each observer's subscription sink, or (classic observers) through the
+// configured Notifier — then applies quarantine bookkeeping: a delivery
+// failure bumps the observer's consecutive-failure count and detaches it
+// at the threshold (immediately when its subscription is gone), a success
+// resets the count.
+func (m *Monitor) deliver(toNotify []*observer, val wire.Value) {
+	if len(toNotify) == 0 {
+		return
+	}
+	type outcome struct {
+		id  int
+		err error
+	}
+	outcomes := make([]outcome, 0, len(toNotify))
+	for _, o := range toNotify {
+		var err error
+		switch {
+		case o.sink != nil:
+			err = o.sink.Push(wire.String(o.eventID), val)
+		case m.opts.Notifier != nil:
+			err = m.opts.Notifier.Notify(o.ref, o.eventID)
+		default:
+			continue
+		}
+		outcomes = append(outcomes, outcome{id: o.id, err: err})
+	}
+	limit := m.maxNotifyFailures()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, oc := range outcomes {
+		o, ok := m.observers[oc.id]
+		if !ok {
+			continue // detached while we were delivering
+		}
+		if oc.err == nil {
+			o.failures = 0
+			continue
+		}
+		o.failures++
+		gone := errors.Is(oc.err, orb.ErrSubscriptionClosed)
+		if gone || (limit > 0 && o.failures >= limit) {
+			delete(m.observers, oc.id)
+			m.logf("monitor %s: detached observer %d for %s after %d failed notifications: %v",
+				m.opts.Name, oc.id, o.eventID, o.failures, oc.err)
+		}
+	}
 }
 
 // Ticks reports how many update cycles have run.
@@ -385,13 +488,25 @@ func (m *Monitor) Value() (wire.Value, error) {
 }
 
 // SetValue overrides the property value (setValue) — the push-style feed.
+// When push observers are attached, event detection runs immediately: a
+// value fed into the monitor streams its consequences to subscribers right
+// away instead of waiting for the next timer tick. (Without push
+// observers SetValue just stores the value, preserving the paper's
+// poll-on-tick semantics.)
 func (m *Monitor) SetValue(v wire.Value) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return ErrClosed
 	}
 	m.value = script.FromWire(v)
+	var toNotify []*observer
+	val := wire.Nil()
+	if m.hasPushObserversLocked() {
+		toNotify, val = m.detectLocked()
+	}
+	m.mu.Unlock()
+	m.deliver(toNotify, val)
 	return nil
 }
 
@@ -460,6 +575,27 @@ func (m *Monitor) AttachObserver(ref wire.ObjRef, eventID, predicateSrc string) 
 	m.nextObsID++
 	id := m.nextObsID
 	m.observers[id] = &observer{id: id, ref: ref, eventID: eventID, fn: fn}
+	return id, nil
+}
+
+// AttachPushObserver registers a push observer: whenever predicateSrc
+// fires, (eventID, value) is pushed onto sink — a streamed notification on
+// the subscriber's connection, replacing the Tick-polled oneway callback.
+// The observer is detached automatically when the sink reports its
+// subscription closed, or by the quarantine after repeated push failures.
+func (m *Monitor) AttachPushObserver(eventID, predicateSrc string, sink orb.EventSink) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	fn, err := m.compileFunctionLocked("predicate:"+eventID, predicateSrc)
+	if err != nil {
+		return 0, err
+	}
+	m.nextObsID++
+	id := m.nextObsID
+	m.observers[id] = &observer{id: id, eventID: eventID, fn: fn, sink: sink}
 	return id, nil
 }
 

@@ -24,11 +24,12 @@ type recordingNotifier struct {
 	refs   []wire.ObjRef
 }
 
-func (r *recordingNotifier) Notify(ref wire.ObjRef, eventID string) {
+func (r *recordingNotifier) Notify(ref wire.ObjRef, eventID string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = append(r.events, eventID)
 	r.refs = append(r.refs, ref)
+	return nil
 }
 
 func (r *recordingNotifier) count() int {

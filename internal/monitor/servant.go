@@ -17,6 +17,23 @@ type Servant struct {
 func NewServant(m *Monitor) *Servant { return &Servant{m: m} }
 
 var _ orb.Servant = (*Servant)(nil)
+var _ orb.EventSource = (*Servant)(nil)
+
+// Subscribe implements orb.EventSource: the topic is the event id and
+// args[0] is the shipped predicate source, mirroring attachEventObserver —
+// but detections stream back over the subscriber's connection instead of
+// being delivered by Tick-polled oneway callbacks. Each pushed event
+// carries (eventID, property value).
+func (s *Servant) Subscribe(topic string, args []wire.Value, sink orb.EventSink) (func(), error) {
+	if len(args) < 1 {
+		return nil, orb.Appf("subscribe: predicate source required")
+	}
+	id, err := s.m.AttachPushObserver(topic, args[0].Str(), sink)
+	if err != nil {
+		return nil, wrapMonErr(err)
+	}
+	return func() { s.m.DetachObserver(id) }, nil
+}
 
 // Invoke implements orb.Servant, dispatching the operations of Figs. 1-2.
 func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
@@ -100,9 +117,9 @@ type ORBNotifier struct {
 
 var _ Notifier = ORBNotifier{}
 
-// Notify implements Notifier.
-func (n ORBNotifier) Notify(observer wire.ObjRef, eventID string) {
-	// Oneway: errors are dropped by design; a dead observer simply stops
-	// hearing about events, matching CORBA oneway semantics.
-	_ = n.Client.InvokeOneway(observer, "notifyEvent", wire.String(eventID))
+// Notify implements Notifier. The send is oneway — no reply is awaited —
+// but local failures (dead endpoint, closed client) are reported so the
+// monitor's quarantine can detach observers that are provably unreachable.
+func (n ORBNotifier) Notify(observer wire.ObjRef, eventID string) error {
+	return n.Client.InvokeOneway(observer, "notifyEvent", wire.String(eventID))
 }

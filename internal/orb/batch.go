@@ -1,0 +1,119 @@
+package orb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"autoadapt/internal/wire"
+)
+
+// DefaultBatchBytes is the pending-byte threshold that flushes a write
+// batch early (see ClientOptions.BatchBytes).
+const DefaultBatchBytes = 32 << 10
+
+// batchWriter coalesces complete frames into one buffer and writes them
+// with a single syscall, either when the flush window elapses or when the
+// pending bytes pass the threshold. Frames are already length-prefixed, so
+// batching needs no wire-format change: the receiver's FrameReader splits
+// the coalesced write back into frames.
+//
+// Lock order: bw.mu is leaf-level for add/stop; the flush path holds
+// cc.writeMu while copying-and-swapping the buffer under bw.mu, never the
+// reverse. A write failure closes the connection *outside* both locks
+// (close stops the batch, which takes bw.mu again).
+type batchWriter struct {
+	cc     *clientConn
+	window time.Duration
+	limit  int
+
+	mu      sync.Mutex
+	buf     []byte
+	timer   *time.Timer // armed while buf is non-empty
+	stopped bool
+}
+
+func newBatchWriter(cc *clientConn, window time.Duration, limit int) *batchWriter {
+	if limit <= 0 {
+		limit = DefaultBatchBytes
+	}
+	return &batchWriter{cc: cc, window: window, limit: limit}
+}
+
+// add appends fb's frame to the batch. The frame bytes are copied (fb goes
+// back to its pool immediately after) and the flush timer is armed on the
+// first frame of a batch. Crossing the byte threshold flushes inline on
+// the caller.
+func (bw *batchWriter) add(fb *wire.FrameBuffer) error {
+	frame, err := fb.Frame()
+	if err != nil {
+		return err
+	}
+	bw.mu.Lock()
+	if bw.stopped {
+		err := bw.cc.deadError()
+		bw.mu.Unlock()
+		return err
+	}
+	bw.buf = append(bw.buf, frame...)
+	bw.cc.c.stats.batchedFrames.Add(1)
+	if len(bw.buf) >= bw.limit {
+		bw.mu.Unlock()
+		return bw.flush()
+	}
+	if bw.timer == nil {
+		bw.timer = time.AfterFunc(bw.window, func() {
+			_ = bw.flush()
+		})
+	}
+	bw.mu.Unlock()
+	return nil
+}
+
+// flush takes the pending batch and writes it as one syscall under the
+// connection's write lock. Concurrent flushes serialize on writeMu;
+// whichever runs first drains the buffer and the rest write nothing.
+func (bw *batchWriter) flush() error {
+	bw.cc.writeMu.Lock()
+	bw.mu.Lock()
+	buf := bw.buf
+	bw.buf = nil
+	if bw.timer != nil {
+		bw.timer.Stop()
+		bw.timer = nil
+	}
+	stopped := bw.stopped
+	bw.mu.Unlock()
+	if stopped || len(buf) == 0 {
+		bw.cc.writeMu.Unlock()
+		return nil
+	}
+	if wt := bw.cc.c.writeTimeout; wt > 0 {
+		_ = bw.cc.raw.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := bw.cc.raw.Write(buf)
+	if wt := bw.cc.c.writeTimeout; wt > 0 {
+		_ = bw.cc.raw.SetWriteDeadline(time.Time{})
+	}
+	bw.cc.writeMu.Unlock()
+	if err != nil {
+		bw.cc.close(fmt.Errorf("orb: batched write failed: %w", err))
+		return err
+	}
+	bw.cc.c.stats.batchFlushes.Add(1)
+	return nil
+}
+
+// stop retires the batch on connection death. Pending frames are dropped —
+// their requests complete with the connection's death error through the
+// pending map, which is the same outcome an unbatched write failure has.
+func (bw *batchWriter) stop() {
+	bw.mu.Lock()
+	bw.stopped = true
+	bw.buf = nil
+	if bw.timer != nil {
+		bw.timer.Stop()
+		bw.timer = nil
+	}
+	bw.mu.Unlock()
+}

@@ -19,6 +19,11 @@ var (
 	// ErrUnknownNetwork is returned when a reference names a transport the
 	// client was not configured with.
 	ErrUnknownNetwork = errors.New("orb: unknown network in object reference")
+	// ErrWindowFull is returned in FailFast mode when a connection's
+	// in-flight window (ClientOptions.MaxInFlight) has no free slot. It is
+	// deterministic load shedding, not a transport fault: retrying
+	// immediately would only re-contend the window.
+	ErrWindowFull = errors.New("orb: connection in-flight window full")
 )
 
 // DefaultWriteTimeout bounds a single frame write when neither the
@@ -64,6 +69,28 @@ type ClientOptions struct {
 	// Now supplies the breaker's time source; nil means time.Now. Tests
 	// inject a simulated clock's Now to drive cooldowns deterministically.
 	Now func() time.Time
+	// MaxInFlight caps the requests awaiting replies on each connection
+	// (0 = unbounded). When the window is full, new invocations block
+	// until a slot frees — or fail fast with ErrWindowFull when FailFast
+	// is set. The cap is the pipelining flow-control knob: it bounds both
+	// client memory (pending futures) and the burst a client can land on
+	// one server connection.
+	MaxInFlight int
+	// FailFast makes a full in-flight window reject new invocations with
+	// ErrWindowFull instead of blocking (load shedding at the edge).
+	FailFast bool
+	// BatchWindow enables write batching: request frames are coalesced
+	// for up to this duration (or until BatchBytes accumulate) and
+	// flushed with a single Write, trading up to BatchWindow of latency
+	// for far fewer syscalls when many sub-frame-size calls share a
+	// connection. 0 disables batching (every frame is its own Write).
+	BatchWindow time.Duration
+	// BatchBytes flushes a batch early once this many bytes are pending.
+	// 0 means DefaultBatchBytes. Only meaningful with BatchWindow > 0.
+	BatchBytes int
+	// SubscribeBuffer is the per-subscription event buffer (see
+	// Client.Subscribe). 0 means DefaultSubscriptionBuffer.
+	SubscribeBuffer int
 }
 
 // Client performs dynamic invocations on remote objects. It multiplexes
@@ -74,6 +101,13 @@ type Client struct {
 	retry        RetryPolicy
 	timeout      time.Duration
 	writeTimeout time.Duration
+	maxInFlight  int
+	failFast     bool
+	batchWindow  time.Duration
+	batchBytes   int
+	subBuffer    int
+
+	stats clientStats
 
 	// Circuit breakers, one per endpoint (see breaker.go). breakerNow is
 	// the injected time source driving cooldowns.
@@ -129,11 +163,24 @@ func NewClientOpts(opts ClientOptions) *Client {
 	if now == nil {
 		now = time.Now
 	}
+	sb := opts.SubscribeBuffer
+	if sb <= 0 {
+		sb = DefaultSubscriptionBuffer
+	}
+	bb := opts.BatchBytes
+	if bb <= 0 {
+		bb = DefaultBatchBytes
+	}
 	return &Client{
 		networks:      m,
 		retry:         opts.Retry,
 		timeout:       opts.InvokeTimeout,
 		writeTimeout:  wt,
+		maxInFlight:   opts.MaxInFlight,
+		failFast:      opts.FailFast,
+		batchWindow:   opts.BatchWindow,
+		batchBytes:    bb,
+		subBuffer:     sb,
 		breakerPolicy: opts.Breaker,
 		breakerNow:    now,
 		breakers:      make(map[string]*breaker),
@@ -270,6 +317,7 @@ func (c *Client) InvokeOneway(ref wire.ObjRef, op string, args ...wire.Value) er
 	if ref.IsZero() {
 		return errors.New("orb: oneway invoke on nil object reference")
 	}
+	c.stats.oneways.Add(1)
 	c.localMu.RLock()
 	local, ok := c.local[ref.Endpoint]
 	c.localMu.RUnlock()
@@ -392,32 +440,71 @@ func (c *Client) dialEndpoint(ctx context.Context, endpoint string) (*clientConn
 		}
 		return nil, &ConnectError{Err: err}
 	}
-	return newClientConn(raw, c.writeTimeout), nil
+	return newClientConn(raw, c), nil
 }
 
-// clientConn multiplexes requests over one transport connection.
+// clientConn multiplexes requests over one transport connection: any
+// number of requests may be in flight at once (bounded by the client's
+// in-flight window), and replies complete out of order through the
+// pending map.
 type clientConn struct {
-	raw          net.Conn
-	writeTimeout time.Duration
+	raw net.Conn
+	c   *Client // owner: options and stats
 
 	writeMu sync.Mutex
+	batch   *batchWriter // non-nil when write batching is enabled
+
+	// window is the in-flight cap semaphore (nil = unbounded): a slot is
+	// held from send until the reply arrives, the caller abandons the
+	// request, or the connection dies.
+	window chan struct{}
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan *wire.Reply
+	nextSub uint64
+	pending map[uint64]*pendingCall
+	subs    map[uint64]*Subscription
 	dead    bool
 	deadErr error
 
 	readerDone chan struct{}
 }
 
-func newClientConn(raw net.Conn, writeTimeout time.Duration) *clientConn {
+// pendingCall is one in-flight request awaiting its reply. Exactly one of
+// ch (synchronous waiter) and fut (asynchronous waiter) is used. Calls are
+// pooled; each pooled object's channel is allocated once and only ever
+// closed on connection death, which also retires the object from the pool.
+type pendingCall struct {
+	ch  chan *wire.Reply
+	fut *Future
+}
+
+var pendingCallPool = sync.Pool{
+	New: func() any { return &pendingCall{ch: make(chan *wire.Reply, 1)} },
+}
+
+func getPendingCall() *pendingCall { return pendingCallPool.Get().(*pendingCall) }
+
+func putPendingCall(pc *pendingCall) {
+	pc.fut = nil
+	pendingCallPool.Put(pc)
+}
+
+func newClientConn(raw net.Conn, c *Client) *clientConn {
 	cc := &clientConn{
-		raw:          raw,
-		writeTimeout: writeTimeout,
-		nextID:       1,
-		pending:      make(map[uint64]chan *wire.Reply),
-		readerDone:   make(chan struct{}),
+		raw:        raw,
+		c:          c,
+		nextID:     1,
+		nextSub:    1,
+		pending:    make(map[uint64]*pendingCall),
+		subs:       make(map[uint64]*Subscription),
+		readerDone: make(chan struct{}),
+	}
+	if c.maxInFlight > 0 {
+		cc.window = make(chan struct{}, c.maxInFlight)
+	}
+	if c.batchWindow > 0 {
+		cc.batch = newBatchWriter(cc, c.batchWindow, c.batchBytes)
 	}
 	go cc.readLoop()
 	return cc
@@ -429,6 +516,17 @@ func (cc *clientConn) isDead() bool {
 	return cc.dead
 }
 
+// deadError returns the connection's death cause (ErrClosed as a fallback
+// so callers never observe a dead connection with a nil error).
+func (cc *clientConn) deadError() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.deadErr != nil {
+		return cc.deadErr
+	}
+	return ErrClosed
+}
+
 func (cc *clientConn) close(err error) {
 	cc.mu.Lock()
 	if cc.dead {
@@ -438,12 +536,44 @@ func (cc *clientConn) close(err error) {
 	cc.dead = true
 	cc.deadErr = err
 	waiters := cc.pending
-	cc.pending = map[uint64]chan *wire.Reply{}
+	cc.pending = map[uint64]*pendingCall{}
+	subs := cc.subs
+	cc.subs = map[uint64]*Subscription{}
 	cc.mu.Unlock()
-	_ = cc.raw.Close()
-	for _, ch := range waiters {
-		close(ch) // receivers translate a closed channel into deadErr
+	if cc.batch != nil {
+		cc.batch.stop()
 	}
+	_ = cc.raw.Close()
+	for _, pc := range waiters {
+		if pc.fut != nil {
+			pc.fut.complete(nil, err)
+			putPendingCall(pc)
+		} else {
+			close(pc.ch) // receivers translate a closed channel into deadErr
+		}
+	}
+	for _, s := range subs {
+		s.fail(err)
+	}
+}
+
+// register allocates a request id and installs a waiter for its reply.
+// fut == nil installs a pooled synchronous waiter.
+func (cc *clientConn) register(fut *Future) (*pendingCall, uint64, error) {
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.deadErr
+		cc.mu.Unlock()
+		// Nothing was sent on this attempt: always safe to retry.
+		return nil, 0, &ConnectError{Err: err}
+	}
+	id := cc.nextID
+	cc.nextID++
+	pc := getPendingCall()
+	pc.fut = fut
+	cc.pending[id] = pc
+	cc.mu.Unlock()
+	return pc, id, nil
 }
 
 func (cc *clientConn) readLoop() {
@@ -463,28 +593,58 @@ func (cc *clientConn) readLoop() {
 			cc.close(fmt.Errorf("orb: protocol error: %w", err))
 			return
 		}
-		if msg.Rep == nil {
+		switch {
+		case msg.Rep != nil:
+			cc.mu.Lock()
+			pc, ok := cc.pending[msg.Rep.ID]
+			if ok {
+				delete(cc.pending, msg.Rep.ID)
+			}
+			cc.mu.Unlock()
+			if !ok {
+				// The caller abandoned the request before its reply
+				// landed (forget won the race). Account for it: silent
+				// drops make pipelining bugs invisible.
+				cc.c.stats.lateReplies.Add(1)
+				continue
+			}
+			if pc.fut != nil {
+				fut := pc.fut
+				putPendingCall(pc)
+				fut.complete(msg.Rep, nil)
+			} else {
+				pc.ch <- msg.Rep
+			}
+		case msg.Event != nil:
+			cc.mu.Lock()
+			sub := cc.subs[msg.Event.SubID]
+			cc.mu.Unlock()
+			if sub != nil {
+				sub.deliver(msg.Event.Values)
+			} else {
+				// Raced with an unsubscribe; the stream is gone.
+				cc.c.stats.eventsDropped.Add(1)
+			}
+		default:
 			cc.close(errors.New("orb: unexpected non-reply message from server"))
 			return
-		}
-		cc.mu.Lock()
-		ch, ok := cc.pending[msg.Rep.ID]
-		delete(cc.pending, msg.Rep.ID)
-		cc.mu.Unlock()
-		if ok {
-			ch <- msg.Rep
 		}
 	}
 }
 
-// writeFrame sends one pre-framed buffer under the write lock, bounded by
-// the tighter of the invocation deadline and the connection's write timeout
-// so a stuck peer cannot hold writeMu forever. The deadline is set and
-// cleared inside the lock, keeping concurrent writers' deadlines from
-// clobbering each other. The whole frame goes out in one Write.
+// writeFrame sends one pre-framed buffer, either straight to the wire
+// under the write lock or into the connection's batch when batching is
+// enabled. Direct writes are bounded by the tighter of the invocation
+// deadline and the connection's write timeout so a stuck peer cannot hold
+// writeMu forever. The deadline is set and cleared inside the lock,
+// keeping concurrent writers' deadlines from clobbering each other. The
+// whole frame goes out in one Write.
 func (cc *clientConn) writeFrame(fb *wire.FrameBuffer, deadline time.Time) error {
-	if cc.writeTimeout > 0 {
-		bound := time.Now().Add(cc.writeTimeout)
+	if cc.batch != nil {
+		return cc.batch.add(fb)
+	}
+	if cc.c.writeTimeout > 0 {
+		bound := time.Now().Add(cc.c.writeTimeout)
 		if deadline.IsZero() || bound.Before(deadline) {
 			deadline = bound
 		}
@@ -498,20 +658,10 @@ func (cc *clientConn) writeFrame(fb *wire.FrameBuffer, deadline time.Time) error
 	return fb.WriteFrame(cc.raw)
 }
 
-func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire.Value) ([]wire.Value, error) {
-	cc.mu.Lock()
-	if cc.dead {
-		err := cc.deadErr
-		cc.mu.Unlock()
-		// Nothing was sent on this attempt: always safe to retry.
-		return nil, &ConnectError{Err: err}
-	}
-	id := cc.nextID
-	cc.nextID++
-	ch := getReplyChan()
-	cc.pending[id] = ch
-	cc.mu.Unlock()
-
+// sendRequest encodes and writes one request frame. A write failure kills
+// the connection (the stream position is undefined); encode failures are
+// local and leave it alive. The caller still owns the pending entry.
+func (cc *clientConn) sendRequest(ctx context.Context, id uint64, key, op string, args []wire.Value) error {
 	req := wire.Request{ID: id, ObjectKey: key, Operation: op, Args: args}
 	var deadline time.Time
 	if dl, ok := ctx.Deadline(); ok {
@@ -522,51 +672,113 @@ func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire
 	out, err := wire.AppendRequest(fb.B, &req, false)
 	if err != nil {
 		wire.PutFrameBuffer(fb)
-		cc.forget(id)
-		return nil, err
+		return err
 	}
 	fb.B = out
 	err = cc.writeFrame(fb, deadline)
 	wire.PutFrameBuffer(fb)
 	if err != nil {
-		cc.forget(id)
 		cc.close(fmt.Errorf("orb: write failed: %w", err))
+	}
+	return err
+}
+
+var noopRelease = func() {}
+
+// acquireSlot claims an in-flight window slot, blocking (or fast-failing,
+// per ClientOptions.FailFast) when the window is full. The returned
+// release is idempotent and must be called exactly once per acquired
+// request lifecycle.
+func (cc *clientConn) acquireSlot(ctx context.Context) (func(), error) {
+	if cc.window == nil {
+		return noopRelease, nil
+	}
+	select {
+	case cc.window <- struct{}{}:
+	default:
+		if cc.c.failFast {
+			cc.c.stats.windowRejects.Add(1)
+			return nil, ErrWindowFull
+		}
+		cc.c.stats.windowWaits.Add(1)
+		select {
+		case cc.window <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-cc.readerDone: // the connection died while we waited
+			cc.mu.Lock()
+			err := cc.deadErr
+			cc.mu.Unlock()
+			return nil, &ConnectError{Err: err}
+		}
+	}
+	var once sync.Once
+	return func() { once.Do(func() { <-cc.window }) }, nil
+}
+
+func (cc *clientConn) roundTrip(ctx context.Context, key, op string, args []wire.Value) ([]wire.Value, error) {
+	cc.c.stats.syncCalls.Add(1)
+	release, err := cc.acquireSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	pc, id, err := cc.register(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.sendRequest(ctx, id, key, op, args); err != nil {
+		cc.forget(id)
 		return nil, err
 	}
 
 	select {
-	case rep, ok := <-ch:
+	case rep, ok := <-pc.ch:
 		if !ok {
 			cc.mu.Lock()
 			err := cc.deadErr
 			cc.mu.Unlock()
 			return nil, err
 		}
-		putReplyChan(ch)
+		putPendingCall(pc)
 		return replyToResults(rep)
 	case <-ctx.Done():
-		cc.forget(id)
+		if !cc.forget(id) && !cc.isDead() {
+			// The reply won the race with our cancellation: it was (or
+			// is being) delivered into a waiter nobody will read.
+			cc.c.stats.lateReplies.Add(1)
+		}
+		cc.c.stats.canceled.Add(1)
 		return nil, ctx.Err()
 	}
 }
 
-func (cc *clientConn) forget(id uint64) {
+// forget abandons the waiter for id, reporting whether it was still
+// pending. When it was, the pooled waiter is drained and repooled: claims
+// happen under cc.mu, so once forget has removed the entry the read loop
+// can no longer touch it, and connection close cannot close its channel —
+// a cancel storm recycles waiters instead of churning allocations. When
+// the entry is gone, the reply either already completed (the caller
+// decides how to account for that) or the connection died.
+func (cc *clientConn) forget(id uint64) bool {
 	cc.mu.Lock()
-	delete(cc.pending, id)
+	pc, ok := cc.pending[id]
+	if ok {
+		delete(cc.pending, id)
+	}
 	cc.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if pc.fut == nil {
+		select { // defensive: claims are exclusive, so this never fires
+		case <-pc.ch:
+		default:
+		}
+	}
+	putPendingCall(pc)
+	return true
 }
-
-// replyChanPool recycles the per-request reply channels. A channel is only
-// returned to the pool after its reply has been received on the clean path
-// (never after forget or connection close), so a pooled channel is always
-// open and empty.
-var replyChanPool = sync.Pool{
-	New: func() any { return make(chan *wire.Reply, 1) },
-}
-
-func getReplyChan() chan *wire.Reply { return replyChanPool.Get().(chan *wire.Reply) }
-
-func putReplyChan(ch chan *wire.Reply) { replyChanPool.Put(ch) }
 
 func (cc *clientConn) sendOneway(key, op string, args []wire.Value) error {
 	cc.mu.Lock()
@@ -621,6 +833,11 @@ func (p *Proxy) Call1(ctx context.Context, op string, args ...wire.Value) (wire.
 		return wire.Nil(), nil
 	}
 	return rs[0], nil
+}
+
+// CallAsync begins a pipelined invocation of op (see Client.InvokeAsync).
+func (p *Proxy) CallAsync(ctx context.Context, op string, args ...wire.Value) (*Future, error) {
+	return p.c.InvokeAsync(ctx, p.ref, op, args...)
 }
 
 // Oneway sends a oneway invocation.

@@ -112,6 +112,39 @@ func (c *InterceptingClient) Invoke(ctx context.Context, ref wire.ObjRef, op str
 	return results, err
 }
 
+// InvokeAsync runs the SendRequest chain (each stage may redirect), then
+// begins a pipelined invocation on the final target. ReceiveReply runs, in
+// reverse order, when the future completes — on whichever goroutine
+// observes the completion (the connection's read loop, or a canceling
+// waiter), so interceptors must be ready for delivery off the caller's
+// goroutine.
+func (c *InterceptingClient) InvokeAsync(ctx context.Context, ref wire.ObjRef, op string, args ...wire.Value) (*Future, error) {
+	chain := c.interceptors()
+	info := &RequestInfo{Target: ref, Operation: op, Args: args}
+	for _, ic := range chain {
+		target, err := ic.SendRequest(ctx, info)
+		if err != nil {
+			return nil, err
+		}
+		info.Target = target
+	}
+	fut, err := c.inner.InvokeAsync(ctx, info.Target, op, args...)
+	if err != nil {
+		for i := len(chain) - 1; i >= 0; i-- {
+			chain[i].ReceiveReply(ctx, info, nil, err)
+		}
+		return nil, err
+	}
+	if len(chain) > 0 {
+		fut.addObserver(func(results []wire.Value, err error) {
+			for i := len(chain) - 1; i >= 0; i-- {
+				chain[i].ReceiveReply(ctx, info, results, err)
+			}
+		})
+	}
+	return fut, nil
+}
+
 // InvokeOneway runs the SendRequest chain, then fires the oneway request.
 // ReceiveReply is not invoked (there is no reply).
 func (c *InterceptingClient) InvokeOneway(ref wire.ObjRef, op string, args ...wire.Value) error {

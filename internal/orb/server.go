@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoadapt/internal/idl"
@@ -223,6 +224,66 @@ type connJob struct {
 	oneway bool
 }
 
+// connWriter serializes frame writes on one server connection. Reply
+// writes and event pushes share it, so a pushed event can never interleave
+// bytes with a reply.
+type connWriter struct {
+	conn net.Conn
+	mu   sync.Mutex
+}
+
+// writeFrame writes one framed buffer under the connection write lock,
+// bounded by deadline when non-zero (set and cleared inside the lock so
+// concurrent writers' deadlines never clobber each other).
+func (w *connWriter) writeFrame(fb *wire.FrameBuffer, deadline time.Time) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !deadline.IsZero() {
+		_ = w.conn.SetWriteDeadline(deadline)
+		defer func() { _ = w.conn.SetWriteDeadline(time.Time{}) }()
+	}
+	return fb.WriteFrame(w.conn)
+}
+
+// eventSink is the server side of one push stream: the servant's Push
+// calls encode Event frames onto the subscriber's connection. closed flips
+// when the subscriber unsubscribes or its connection dies, making further
+// pushes fail fast with ErrSubscriptionClosed.
+type eventSink struct {
+	w      *connWriter
+	subID  uint64
+	closed atomic.Bool
+}
+
+// Push implements EventSink. A write failure closes the connection (the
+// stream position is undefined mid-frame), which tears down every
+// subscription on it.
+func (es *eventSink) Push(values ...wire.Value) error {
+	if es.closed.Load() {
+		return ErrSubscriptionClosed
+	}
+	fb := wire.GetFrameBuffer()
+	out, err := wire.AppendEvent(fb.B, &wire.Event{SubID: es.subID, Values: values})
+	if err != nil {
+		wire.PutFrameBuffer(fb)
+		return err
+	}
+	fb.B = out
+	err = es.w.writeFrame(fb, time.Now().Add(DefaultWriteTimeout))
+	wire.PutFrameBuffer(fb)
+	if err != nil {
+		_ = es.w.conn.Close()
+		return err
+	}
+	return nil
+}
+
+// serverSub pairs a stream's sink with the servant's cancel.
+type serverSub struct {
+	sink   *eventSink
+	cancel func()
+}
+
 // serveConn reads frames off one connection and dispatches them. The hot
 // path avoids a goroutine per request: servants marked inline (FastServant)
 // run directly on the read goroutine; everything else is handed to a single
@@ -239,14 +300,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.connsMu.Unlock()
 	}()
-	var writeMu sync.Mutex
+	cw := &connWriter{conn: conn}
 	var reqWG sync.WaitGroup
 	var worker chan connJob // resident worker, started on first demand
+	// subs holds this connection's push streams. Only the read goroutine
+	// (including this teardown) touches the map, so it needs no lock.
+	subs := make(map[uint64]*serverSub)
 	defer func() {
 		if worker != nil {
 			close(worker)
 		}
 		reqWG.Wait()
+		// Sinks first (pushes fail fast), then servant cancels.
+		for _, ss := range subs {
+			ss.sink.closed.Store(true)
+		}
+		for _, ss := range subs {
+			if ss.cancel != nil {
+				ss.cancel()
+			}
+		}
 	}()
 	fr := wire.NewFrameReader(conn)
 	for {
@@ -270,7 +343,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				oneway: msg.Type == wire.MsgOneway,
 			}
 			if job.entry != nil && job.entry.inline {
-				s.handle(conn, &writeMu, job)
+				s.handle(cw, job)
 				continue
 			}
 			if worker == nil {
@@ -279,7 +352,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				go func(jobs <-chan connJob) {
 					defer reqWG.Done()
 					for j := range jobs {
-						s.handle(conn, &writeMu, j)
+						s.handle(cw, j)
 					}
 				}(worker)
 			}
@@ -289,8 +362,21 @@ func (s *Server) serveConn(conn net.Conn) {
 				reqWG.Add(1)
 				go func(j connJob) {
 					defer reqWG.Done()
-					s.handle(conn, &writeMu, j)
+					s.handle(cw, j)
 				}(job)
+			}
+		case wire.MsgSubscribe:
+			// Handled inline: registering a sink must be quick (EventSource
+			// contract), and serial handling makes duplicate-id checks
+			// race-free without a lock.
+			s.handleSubscribe(cw, msg.Sub, subs)
+		case wire.MsgUnsubscribe:
+			if ss, ok := subs[msg.UnsubID]; ok {
+				delete(subs, msg.UnsubID)
+				ss.sink.closed.Store(true)
+				if ss.cancel != nil {
+					ss.cancel()
+				}
 			}
 		default:
 			s.logf("orb: unexpected %s message on server connection", msg.Type)
@@ -301,38 +387,75 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // handle dispatches one request and, unless it was oneway, writes the reply
 // as a single frame from a pooled buffer.
-func (s *Server) handle(conn net.Conn, writeMu *sync.Mutex, j connJob) {
+func (s *Server) handle(cw *connWriter, j connJob) {
 	rep := s.dispatchEntry(j.entry, j.req)
 	if j.oneway {
 		return // no reply, errors dropped by design
 	}
+	// Bound the reply write by the request's wire deadline (with a small
+	// floor so even an already-expired caller gets its DEADLINE_EXCEEDED
+	// reply rather than a hang).
+	var deadline time.Time
+	if j.req.Deadline != 0 {
+		deadline = time.Unix(0, j.req.Deadline)
+		if floor := time.Now().Add(time.Second); deadline.Before(floor) {
+			deadline = floor
+		}
+	}
+	if err := s.writeReply(cw, rep, deadline); err != nil {
+		s.logf("orb: write reply: %v", err)
+	}
+}
+
+// writeReply encodes and writes one reply frame from a pooled buffer.
+func (s *Server) writeReply(cw *connWriter, rep *wire.Reply, deadline time.Time) error {
 	fb := wire.GetFrameBuffer()
 	out, err := wire.AppendReply(fb.B, rep)
 	if err != nil {
 		wire.PutFrameBuffer(fb)
 		s.logf("orb: encode reply: %v", err)
-		return
+		return nil // local encode bug; the connection itself is fine
 	}
 	fb.B = out
-	writeMu.Lock()
-	// Bound the reply write by the request's wire deadline (with a small
-	// floor so even an already-expired caller gets its DEADLINE_EXCEEDED
-	// reply rather than a hang).
-	if j.req.Deadline != 0 {
-		wd := time.Unix(0, j.req.Deadline)
-		if floor := time.Now().Add(time.Second); wd.Before(floor) {
-			wd = floor
-		}
-		_ = conn.SetWriteDeadline(wd)
-	}
-	err = fb.WriteFrame(conn)
-	if j.req.Deadline != 0 {
-		_ = conn.SetWriteDeadline(time.Time{})
-	}
-	writeMu.Unlock()
+	err = cw.writeFrame(fb, deadline)
 	wire.PutFrameBuffer(fb)
-	if err != nil {
-		s.logf("orb: write reply: %v", err)
+	return err
+}
+
+// handleSubscribe opens one push stream: resolve the servant, require
+// EventSource, register the sink, and ack (or refuse) with a normal reply
+// correlated by the subscribe frame's request id.
+func (s *Server) handleSubscribe(cw *connWriter, sub *wire.Subscribe, subs map[uint64]*serverSub) {
+	rep := &wire.Reply{ID: sub.ID}
+	entry := s.servantEntryFor(sub.ObjectKey)
+	switch {
+	case entry == nil:
+		rep.ErrCode = CodeNoSuchObject
+		rep.Err = fmt.Sprintf("no object %q", sub.ObjectKey)
+	default:
+		es, ok := entry.servant.(EventSource)
+		if !ok {
+			rep.ErrCode = CodeBadOperation
+			rep.Err = fmt.Sprintf("object %q does not push events", sub.ObjectKey)
+			break
+		}
+		if _, dup := subs[sub.SubID]; dup {
+			rep.ErrCode = CodeBadParam
+			rep.Err = fmt.Sprintf("duplicate subscription id %d", sub.SubID)
+			break
+		}
+		sink := &eventSink{w: cw, subID: sub.SubID}
+		cancel, err := safeSubscribe(es, sub.Topic, sub.Args, sink)
+		if err != nil {
+			var re *RemoteError
+			errors.As(remoteSubscribeError(err), &re)
+			rep.ErrCode, rep.Err = re.Code, re.Msg
+			break
+		}
+		subs[sub.SubID] = &serverSub{sink: sink, cancel: cancel}
+	}
+	if err := s.writeReply(cw, rep, time.Now().Add(DefaultWriteTimeout)); err != nil {
+		s.logf("orb: write subscribe ack: %v", err)
 	}
 }
 

@@ -178,6 +178,36 @@ func (r *Rebinder) Invoke(ctx context.Context, op string, args ...wire.Value) ([
 	return nil, fmt.Errorf("rebind: exhausted %d alternatives: %w", r.opts.MaxRebinds, err)
 }
 
+// InvokeAsync implements baseline.AsyncInvoker: the request is issued on
+// the current binding (binding lazily first if needed) and completes out
+// of order through the returned future. Unlike Invoke there is no
+// mid-flight rebinding — an async caller owns redelivery — but issue-time
+// faults still count (FastFails for breaker rejections), and the future's
+// outcome marks the binding known-good exactly like a blocking call, so a
+// pipelined workload keeps the Rebinder's health picture warm.
+func (r *Rebinder) InvokeAsync(ctx context.Context, op string, args ...wire.Value) (*orb.Future, error) {
+	r.mu.Lock()
+	r.stats.Invocations++
+	cur := r.cur
+	r.mu.Unlock()
+	if cur.IsZero() {
+		if err := r.Bind(ctx); err != nil {
+			return nil, err
+		}
+		cur = r.Current()
+	}
+	fut, err := r.opts.Client.InvokeAsync(ctx, cur, op, args...)
+	if err != nil {
+		r.noteFault(err)
+		return nil, err
+	}
+	fut.OnComplete(func(_ []wire.Value, ferr error) {
+		r.noteFault(ferr)
+		r.noteOutcome(cur, ferr)
+	})
+	return fut, nil
+}
+
 // staleFallback retries against the last-known-good binding when the
 // trader has no live offers left. The binding may well be one that just
 // failed — but "possibly recovered" beats "certainly nothing", and the

@@ -1,0 +1,58 @@
+// Package testutil holds small stdlib-only helpers shared by the
+// repository's tests.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// CheckGoroutines snapshots the current goroutine count and returns a
+// function that fails t if the count has not settled back to (at most) the
+// snapshot plus slack by the deadline. Goroutines wind down asynchronously
+// after Close calls, so the check retries with a backoff instead of
+// asserting instantly.
+//
+// Usage:
+//
+//	defer testutil.CheckGoroutines(t, 0)()
+//	... test body that must not leak ...
+func CheckGoroutines(t TB, slack int) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Helper()
+		t.Errorf("goroutine leak: %d before, %d after (slack %d)\n%s",
+			before, now, slack, stacks())
+	}
+}
+
+// TB is the subset of testing.TB the helpers need (kept narrow so this
+// package imports nothing from testing at call sites' behest).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// stacks dumps all goroutine stacks for leak diagnostics.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	if n == len(buf) {
+		return fmt.Sprintf("%s\n... (stack dump truncated)", buf[:n])
+	}
+	return string(buf[:n])
+}

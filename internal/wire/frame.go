@@ -8,12 +8,18 @@ import (
 type MsgType uint8
 
 // Message types. Oneway requests elicit no reply (the paper's
-// EventObserver.notifyEvent is declared oneway, Fig. 2).
+// EventObserver.notifyEvent is declared oneway, Fig. 2). Subscribe opens
+// a server-push stream on the connection: the server acks it with a
+// normal Reply and thereafter delivers Event frames tagged with the
+// subscription id until the client unsubscribes or the connection dies.
 const (
 	MsgRequest MsgType = iota + 1
 	MsgReply
 	MsgOneway
 	MsgErrorReply
+	MsgSubscribe
+	MsgUnsubscribe
+	MsgEvent
 )
 
 // String names the message type.
@@ -27,6 +33,12 @@ func (m MsgType) String() string {
 		return "oneway"
 	case MsgErrorReply:
 		return "error"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgUnsubscribe:
+		return "unsubscribe"
+	case MsgEvent:
+		return "event"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(m))
 	}
@@ -114,11 +126,71 @@ func AppendReply(dst []byte, rep *Reply) ([]byte, error) {
 	return buf, nil
 }
 
-// Message is a decoded protocol message: exactly one of Req or Rep is set.
+// Subscribe opens a push subscription on an object: the server routes
+// Topic and Args (e.g. an event id and a shipped predicate) to the
+// servant, which streams events back as Event frames carrying SubID.
+// The server acknowledges with a Reply (or ErrorReply) correlated by ID,
+// exactly like a request.
+type Subscribe struct {
+	ID        uint64  // correlates the ack reply
+	SubID     uint64  // client-chosen stream id, unique per connection
+	ObjectKey string  // target object within the server's adapter
+	Topic     string  // what to subscribe to (e.g. an event id)
+	Args      []Value // subscription arguments (e.g. predicate source)
+}
+
+// Event is one pushed notification on an open subscription.
+type Event struct {
+	SubID  uint64
+	Values []Value
+}
+
+// AppendSubscribe appends the encoding of a subscribe message to dst.
+func AppendSubscribe(dst []byte, sub *Subscribe) ([]byte, error) {
+	buf := append(dst, byte(MsgSubscribe))
+	buf = appendUint64(buf, sub.ID)
+	buf = appendUint64(buf, sub.SubID)
+	buf = appendString(buf, sub.ObjectKey)
+	buf = appendString(buf, sub.Topic)
+	buf = appendUint64(buf, uint64(len(sub.Args)))
+	var err error
+	for _, a := range sub.Args {
+		if buf, err = AppendValue(buf, a); err != nil {
+			return nil, fmt.Errorf("wire: encode subscribe arg: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// AppendUnsubscribe appends the encoding of an unsubscribe message to dst.
+func AppendUnsubscribe(dst []byte, subID uint64) []byte {
+	buf := append(dst, byte(MsgUnsubscribe))
+	return appendUint64(buf, subID)
+}
+
+// AppendEvent appends the encoding of a pushed event to dst.
+func AppendEvent(dst []byte, ev *Event) ([]byte, error) {
+	buf := append(dst, byte(MsgEvent))
+	buf = appendUint64(buf, ev.SubID)
+	buf = appendUint64(buf, uint64(len(ev.Values)))
+	var err error
+	for _, v := range ev.Values {
+		if buf, err = AppendValue(buf, v); err != nil {
+			return nil, fmt.Errorf("wire: encode event value: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// Message is a decoded protocol message: exactly one of Req, Rep, Sub,
+// Event, or (for unsubscribe) UnsubID is set.
 type Message struct {
-	Type MsgType
-	Req  *Request
-	Rep  *Reply
+	Type    MsgType
+	Req     *Request
+	Rep     *Reply
+	Sub     *Subscribe
+	Event   *Event
+	UnsubID uint64 // set when Type == MsgUnsubscribe
 }
 
 // DecodeMessage decodes a frame payload into a protocol message.
@@ -205,6 +277,74 @@ func DecodeMessage(payload []byte) (*Message, error) {
 			return nil, fmt.Errorf("wire: %d trailing bytes in reply", d.Remaining())
 		}
 		return &Message{Type: mt, Rep: rep}, nil
+	case MsgSubscribe:
+		sub := &Subscribe{}
+		var err error
+		if sub.ID, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if sub.SubID, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if sub.ObjectKey, err = d.str(); err != nil {
+			return nil, err
+		}
+		if sub.Topic, err = d.str(); err != nil {
+			return nil, err
+		}
+		n, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.Remaining()) {
+			return nil, ErrTruncated
+		}
+		sub.Args = make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.Value()
+			if err != nil {
+				return nil, fmt.Errorf("wire: decode subscribe arg %d: %w", i, err)
+			}
+			sub.Args = append(sub.Args, v)
+		}
+		if d.Remaining() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes in subscribe", d.Remaining())
+		}
+		return &Message{Type: mt, Sub: sub}, nil
+	case MsgUnsubscribe:
+		subID, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if d.Remaining() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes in unsubscribe", d.Remaining())
+		}
+		return &Message{Type: mt, UnsubID: subID}, nil
+	case MsgEvent:
+		ev := &Event{}
+		var err error
+		if ev.SubID, err = d.u64(); err != nil {
+			return nil, err
+		}
+		n, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(d.Remaining()) {
+			return nil, ErrTruncated
+		}
+		ev.Values = make([]Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.Value()
+			if err != nil {
+				return nil, fmt.Errorf("wire: decode event value %d: %w", i, err)
+			}
+			ev.Values = append(ev.Values, v)
+		}
+		if d.Remaining() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes in event", d.Remaining())
+		}
+		return &Message{Type: mt, Event: ev}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type 0x%02x", payload[0])
 	}

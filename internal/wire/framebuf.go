@@ -31,13 +31,24 @@ func (fb *FrameBuffer) Payload() []byte { return fb.B[frameHeaderLen:] }
 
 // WriteFrame patches the length prefix and writes header+payload as one Write.
 func (fb *FrameBuffer) WriteFrame(w io.Writer) error {
+	frame, err := fb.Frame()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// Frame patches the length prefix and returns the complete frame
+// (header + payload), ready to be written or coalesced into a batch. The
+// slice aliases fb.B and is invalidated by PutFrameBuffer.
+func (fb *FrameBuffer) Frame() ([]byte, error) {
 	n := len(fb.B) - frameHeaderLen
 	if n > MaxFrameSize {
-		return ErrFrameTooLarge
+		return nil, ErrFrameTooLarge
 	}
 	binary.BigEndian.PutUint32(fb.B[:frameHeaderLen], uint32(n))
-	_, err := w.Write(fb.B)
-	return err
+	return fb.B, nil
 }
 
 const frameHeaderLen = 4

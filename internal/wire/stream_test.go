@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	sub := &Subscribe{
+		ID:        7,
+		SubID:     42,
+		ObjectKey: "monitor/LoadAvg",
+		Topic:     "overload",
+		Args:      []Value{String("return function() return true end"), Number(3)},
+	}
+	buf, err := AppendSubscribe(nil, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgSubscribe || msg.Sub == nil {
+		t.Fatalf("decoded %v, want subscribe", msg.Type)
+	}
+	got := msg.Sub
+	if got.ID != sub.ID || got.SubID != sub.SubID || got.ObjectKey != sub.ObjectKey || got.Topic != sub.Topic {
+		t.Fatalf("header mismatch: %+v vs %+v", got, sub)
+	}
+	if len(got.Args) != 2 || !got.Args[0].Equal(sub.Args[0]) || !got.Args[1].Equal(sub.Args[1]) {
+		t.Fatalf("args mismatch: %v", got.Args)
+	}
+}
+
+func TestUnsubscribeRoundTrip(t *testing.T) {
+	buf := AppendUnsubscribe(nil, 99)
+	msg, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgUnsubscribe || msg.UnsubID != 99 {
+		t.Fatalf("decoded %v/%d, want unsubscribe/99", msg.Type, msg.UnsubID)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	ev := &Event{SubID: 42, Values: []Value{String("overload"), Number(1.5)}}
+	buf, err := AppendEvent(nil, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgEvent || msg.Event == nil {
+		t.Fatalf("decoded %v, want event", msg.Type)
+	}
+	if msg.Event.SubID != 42 || len(msg.Event.Values) != 2 ||
+		!msg.Event.Values[0].Equal(ev.Values[0]) || !msg.Event.Values[1].Equal(ev.Values[1]) {
+		t.Fatalf("event mismatch: %+v", msg.Event)
+	}
+}
+
+func TestEventEmptyValues(t *testing.T) {
+	buf, err := AppendEvent(nil, &Event{SubID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Event.SubID != 1 || len(msg.Event.Values) != 0 {
+		t.Fatalf("event mismatch: %+v", msg.Event)
+	}
+}
+
+func TestStreamDecodeTruncated(t *testing.T) {
+	sub := &Subscribe{ID: 1, SubID: 2, ObjectKey: "k", Topic: "t", Args: []Value{Number(1)}}
+	buf, err := AppendSubscribe(nil, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := AppendEvent(nil, &Event{SubID: 3, Values: []Value{String("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, full := range [][]byte{buf, AppendUnsubscribe(nil, 5), ev} {
+		for i := 1; i < len(full); i++ {
+			if _, err := DecodeMessage(full[:i]); err == nil {
+				t.Fatalf("truncation at %d/%d decoded cleanly", i, len(full))
+			}
+		}
+		// Trailing garbage must be rejected too.
+		if _, err := DecodeMessage(append(append([]byte{}, full...), 0xff)); err == nil {
+			t.Fatal("trailing byte decoded cleanly")
+		}
+	}
+}
