@@ -19,12 +19,13 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run xxx -bench . -benchmem . ./internal/script ./internal/orb
+	$(GO) test -run xxx -bench . -benchmem . ./internal/script ./internal/orb ./internal/trading/...
 
 # One iteration of every benchmark: catches benches that break (compile
 # errors, Fatal paths) without paying for stable numbers. CI runs this.
 # Covers the root experiment benches (E1–E12), the script-engine kernels
-# (Fib15, NumericLoop, compile/cache paths), and the ORB invocation
-# benches including the E13 pipelining/open-loop suite.
+# (Fib15, NumericLoop, compile/cache paths), the ORB invocation benches
+# including the E13 pipelining/open-loop suite, and the sharded-trader
+# E14 suite.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime=1x . ./internal/script ./internal/orb
+	$(GO) test -run xxx -bench . -benchtime=1x . ./internal/script ./internal/orb ./internal/trading/...

@@ -40,6 +40,7 @@ import (
 	"autoadapt/internal/orb"
 	"autoadapt/internal/rebind"
 	"autoadapt/internal/trading"
+	"autoadapt/internal/trading/shard"
 	"autoadapt/internal/wire"
 )
 
@@ -172,6 +173,165 @@ func (t *TraderHandle) Close() error {
 		t.stopReaper()
 	}
 	err := t.server.Close()
+	if cerr := t.client.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ShardedTraderOptions configures StartShardedTrader.
+type ShardedTraderOptions struct {
+	// Network and Address to listen on. Required.
+	Network Network
+	Address string
+	// Shards is how many trader shards the offer space is partitioned
+	// across. Default 4.
+	Shards int
+	// Standbys is the pool of spare traders the shard manager promotes to
+	// read replicas of hot shards. Default 0 (no dynamic replication).
+	Standbys int
+	// Types registered at start (broadcast to every shard and standby).
+	Types []ServiceType
+	// CheckIDL type-checks inbound trader calls against the IDL.
+	CheckIDL bool
+	// LeaseTTL / ReapInterval: as in TraderOptions, applied per shard.
+	// The router's ownership-handoff grace window is derived from
+	// LeaseTTL so re-exports complete before an old owner is dropped.
+	LeaseTTL     time.Duration
+	ReapInterval time.Duration
+	// HotRPS is the per-shard query rate above which the manager attaches
+	// a read replica (see shard.ManagerOptions). Default 100.
+	HotRPS float64
+	// Logger for connection and rebalancing diagnostics.
+	Logger *log.Logger
+}
+
+// ShardedTraderHandle is a running sharded trading service: one process,
+// N in-process trader shards behind the routing client, registered at the
+// same well-known object key as a single trader.
+type ShardedTraderHandle struct {
+	// Router is the shard routing client (a trading.Directory).
+	Router *shard.Router
+	// Manager is the replica control loop (nil when Standbys is 0).
+	Manager *shard.Manager
+	// Ref is the wire reference clients bind to — indistinguishable from
+	// a single trader's.
+	Ref ObjRef
+
+	server   *orb.Server
+	client   *orb.Client
+	stoppers []func()
+}
+
+// StartShardedTrader partitions the offer space across opts.Shards
+// in-process traders behind a shard.Router and serves the whole ensemble
+// at the well-known trader key. Clients, agents, and smart proxies need
+// no changes: Export/Query/Renew route to the owning shard server-side.
+func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error) {
+	if opts.Network == nil {
+		return nil, errors.New("autoadapt: ShardedTraderOptions.Network is required")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	client := orb.NewClient(opts.Network)
+	h := &ShardedTraderHandle{client: client}
+	fail := func(err error) (*ShardedTraderHandle, error) {
+		_ = h.Close()
+		return nil, err
+	}
+
+	newShard := func() *trading.Trader {
+		tr := trading.NewTrader(trading.ClientResolver{Client: client})
+		if opts.LeaseTTL > 0 {
+			tr.SetLeaseTTL(opts.LeaseTTL)
+			interval := opts.ReapInterval
+			if interval <= 0 {
+				interval = opts.LeaseTTL / 3
+			}
+			h.stoppers = append(h.stoppers, tr.StartReaper(interval))
+		}
+		return tr
+	}
+	dirs := make([]trading.Directory, opts.Shards)
+	for i := range dirs {
+		dirs[i] = trading.Local{T: newShard()}
+	}
+	grace := 30 * time.Second
+	if opts.LeaseTTL > 0 {
+		grace = 2 * opts.LeaseTTL
+	}
+	router, err := shard.NewRouter(shard.Options{
+		Shards:       dirs,
+		HandoffGrace: grace,
+		Logger:       opts.Logger,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	h.Router = router
+	ctx := context.Background()
+	for _, st := range opts.Types {
+		if err := router.AddType(ctx, st); err != nil {
+			return fail(fmt.Errorf("autoadapt: register type %s: %w", st.Name, err))
+		}
+	}
+
+	if opts.Standbys > 0 {
+		standbys := make([]trading.Directory, opts.Standbys)
+		for i := range standbys {
+			standbys[i] = trading.Local{T: newShard()}
+		}
+		mgr, err := shard.NewManager(shard.ManagerOptions{
+			Router:   router,
+			Standbys: standbys,
+			HotRPS:   opts.HotRPS,
+			Logger:   opts.Logger,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		h.Manager = mgr
+		h.stoppers = append(h.stoppers, mgr.Start())
+	}
+
+	var repo *idl.Repository
+	if opts.CheckIDL {
+		repo = idl.NewRepository()
+		if err := repo.LoadIDL(monitor.IDL); err != nil {
+			return fail(fmt.Errorf("autoadapt: load monitor IDL: %w", err))
+		}
+		if err := repo.LoadIDL(trading.InterfaceIDL); err != nil {
+			return fail(fmt.Errorf("autoadapt: load trader IDL: %w", err))
+		}
+	}
+	srv, err := orb.NewServer(orb.ServerOptions{
+		Network: opts.Network, Address: opts.Address, Repo: repo, Logger: opts.Logger,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	h.server = srv
+	iface := ""
+	if opts.CheckIDL {
+		iface = "Trader"
+	}
+	h.Ref = srv.Register(trading.DefaultObjectKey, iface, shard.NewServant(router, h.Manager))
+	return h, nil
+}
+
+// Endpoint returns the sharded trader's endpoint string.
+func (t *ShardedTraderHandle) Endpoint() string { return t.server.Endpoint() }
+
+// Close stops the server, the replica manager, and every shard reaper.
+func (t *ShardedTraderHandle) Close() error {
+	for _, stop := range t.stoppers {
+		stop()
+	}
+	var err error
+	if t.server != nil {
+		err = t.server.Close()
+	}
 	if cerr := t.client.Close(); err == nil {
 		err = cerr
 	}

@@ -6,6 +6,7 @@
 //
 //	adaptctl -trader 'tcp|127.0.0.1:9050/Trader' types
 //	adaptctl -trader ... query LoadShared "LoadAvg < 2" "min LoadAvg"
+//	adaptctl -trader ... shards               # sharded-trader placement/stats
 //	adaptctl -trader ... renew offer-3        # extend an offer's lease
 //	adaptctl -breaker-threshold 3 invoke ...  # fail fast on dead endpoints
 //	adaptctl invoke 'tcp|127.0.0.1:41234/service' hello
@@ -48,7 +49,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: adaptctl [flags] types|query|renew|invoke|monitor|aspect|define ...")
+		return fmt.Errorf("usage: adaptctl [flags] types|query|renew|shards|invoke|monitor|aspect|define ...")
 	}
 
 	client := orb.NewClientOpts(orb.ClientOptions{
@@ -113,6 +114,17 @@ func run() error {
 				fmt.Printf("    %-20s %s\n", name, v)
 			}
 		}
+		return nil
+	case "shards":
+		ref, err := wire.ParseObjRef(*traderRef)
+		if err != nil {
+			return err
+		}
+		rs, err := client.Invoke(ctx, ref, "shardStatus")
+		if err != nil {
+			return err
+		}
+		printShardStatus(rs[0])
 		return nil
 	case "renew":
 		if len(args) < 2 {
@@ -207,6 +219,51 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// printShardStatus renders the shardStatus reply (see shard.Servant for
+// the wire layout).
+func printShardStatus(v wire.Value) {
+	tb, ok := v.AsTable()
+	if !ok {
+		fmt.Println(v)
+		return
+	}
+	if shards, ok := tb.GetString("shards").AsTable(); ok {
+		for i := 1; i <= shards.Len(); i++ {
+			sh, ok := shards.Index(i).AsTable()
+			if !ok {
+				continue
+			}
+			state := "alive"
+			if b, _ := sh.GetString("alive").AsBool(); !b {
+				state = "DEAD"
+			}
+			fmt.Printf("%-10s %-6s replicas=%d", sh.GetString("name").Str(),
+				state, int(sh.GetString("replicas").Num()))
+			if owned, ok := sh.GetString("owned").AsTable(); ok && owned.Len() > 0 {
+				fmt.Print("  owns:")
+				for j := 1; j <= owned.Len(); j++ {
+					fmt.Printf(" %s", owned.Index(j).Str())
+				}
+			}
+			fmt.Println()
+		}
+	}
+	printCounterTable := func(label string, v wire.Value) {
+		sec, ok := v.AsTable()
+		if !ok {
+			return
+		}
+		fmt.Printf("%s:", label)
+		sec.Pairs(func(k, val wire.Value) bool {
+			fmt.Printf(" %s=%v", k.Str(), val)
+			return true
+		})
+		fmt.Println()
+	}
+	printCounterTable("router", tb.GetString("router"))
+	printCounterTable("manager", tb.GetString("manager"))
 }
 
 func parseArg(s string) wire.Value {

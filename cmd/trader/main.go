@@ -4,10 +4,17 @@
 // Usage:
 //
 //	trader -listen 127.0.0.1:9050 -type LoadShared -type ImageService
+//	trader -shards 4 -standbys 2 -lease-ttl 10s
 //
 // Agents export offers to it (cmd/agentd), clients query it (cmd/adaptctl,
 // cmd/loadshare). Additional service types can also be added at run time
 // through the trader's addType operation.
+//
+// With -shards N > 1 the offer space is partitioned across N in-process
+// trader shards behind the shard routing client, served at the same
+// well-known object key — clients cannot tell the difference. -standbys
+// adds a pool of spare traders the shard manager promotes to read
+// replicas of hot shards (see `adaptctl shards` for live placement).
 package main
 
 import (
@@ -42,6 +49,9 @@ func run() error {
 		check    = flag.Bool("check-idl", true, "type-check trader operations against the IDL")
 		leaseTTL = flag.Duration("lease-ttl", 0, "offer lease TTL; unrenewed offers expire (0 disables leasing)")
 		reap     = flag.Duration("reap-interval", 0, "how often expired offers are collected (default lease-ttl/3)")
+		shards   = flag.Int("shards", 1, "partition the offer space across N trader shards")
+		standbys = flag.Int("standbys", 0, "spare traders available as dynamic read replicas (sharded mode)")
+		hotRPS   = flag.Float64("hot-rps", 100, "per-shard query RPS above which a read replica is attached")
 		types    typeList
 	)
 	flag.Var(&types, "type", "service type to register (repeatable)")
@@ -57,22 +67,52 @@ func run() error {
 			Props: []string{"LoadAvg", "LoadAvgIncreasing", "Host"},
 		})
 	}
-	h, err := autoadapt.StartTrader(autoadapt.TraderOptions{
-		Network:      autoadapt.TCP(),
-		Address:      *listen,
-		Types:        sts,
-		CheckIDL:     *check,
-		LeaseTTL:     *leaseTTL,
-		ReapInterval: *reap,
-		Logger:       log.New(os.Stderr, "trader ", log.LstdFlags),
-	})
-	if err != nil {
-		return err
+	logger := log.New(os.Stderr, "trader ", log.LstdFlags)
+	var (
+		endpoint string
+		ref      autoadapt.ObjRef
+		closer   interface{ Close() error }
+	)
+	if *shards > 1 {
+		h, err := autoadapt.StartShardedTrader(autoadapt.ShardedTraderOptions{
+			Network:      autoadapt.TCP(),
+			Address:      *listen,
+			Shards:       *shards,
+			Standbys:     *standbys,
+			Types:        sts,
+			CheckIDL:     *check,
+			LeaseTTL:     *leaseTTL,
+			ReapInterval: *reap,
+			HotRPS:       *hotRPS,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		endpoint, ref, closer = h.Endpoint(), h.Ref, h
+	} else {
+		h, err := autoadapt.StartTrader(autoadapt.TraderOptions{
+			Network:      autoadapt.TCP(),
+			Address:      *listen,
+			Types:        sts,
+			CheckIDL:     *check,
+			LeaseTTL:     *leaseTTL,
+			ReapInterval: *reap,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		endpoint, ref, closer = h.Endpoint(), h.Ref, h
 	}
-	defer h.Close()
+	defer closer.Close()
 
 	fmt.Printf("trading service ready\n  endpoint:  %s\n  reference: %s\n  types:     %v\n",
-		h.Endpoint(), h.Ref, types)
+		endpoint, ref, types)
+	if *shards > 1 {
+		fmt.Printf("  shards:    %d (+%d standby replicas); inspect with: adaptctl shards\n",
+			*shards, *standbys)
+	}
 	if *leaseTTL > 0 {
 		fmt.Printf("  leases:    %v TTL (agents must renew; see agentd -lease-ttl)\n", *leaseTTL)
 	}

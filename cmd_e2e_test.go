@@ -182,3 +182,67 @@ func TestCLIDeploymentEndToEnd(t *testing.T) {
 		t.Fatalf("adaptctl invoke: %q", out)
 	}
 }
+
+// TestCLIShardedTrader runs the trader daemon in sharded mode and drives
+// it with agentd and adaptctl: exports and queries route through the
+// shard servant transparently, and `adaptctl shards` renders the
+// placement.
+func TestCLIShardedTrader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping multi-process e2e")
+	}
+	dir := t.TempDir()
+	traderBin := buildTool(t, dir, "trader")
+	agentBin := buildTool(t, dir, "agentd")
+	ctlBin := buildTool(t, dir, "adaptctl")
+
+	var traderEndpoint string
+	startDaemon(t, traderBin, []string{
+		"-listen", "127.0.0.1:0", "-type", "LoadShared",
+		"-shards", "3", "-standbys", "1", "-lease-ttl", "30s",
+	}, func(line string) bool {
+		if strings.Contains(line, "endpoint:") {
+			fields := strings.Fields(line)
+			traderEndpoint = fields[len(fields)-1]
+		}
+		return strings.Contains(line, "shards:")
+	})
+	if traderEndpoint == "" {
+		t.Fatal("trader endpoint not captured")
+	}
+	traderRef := traderEndpoint + "/Trader"
+
+	startDaemon(t, agentBin, []string{
+		"-listen", "127.0.0.1:0", "-trader", traderRef,
+		"-name", "host-a", "-load", "sim:0.2", "-period", "50ms",
+		"-lease-ttl", "30s",
+	}, func(line string) bool { return strings.Contains(line, "offer:") })
+
+	runCtl := func(args ...string) string {
+		t.Helper()
+		full := append([]string{"-trader", traderRef}, args...)
+		out, err := exec.Command(ctlBin, full...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("adaptctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	if out := runCtl("types"); !strings.Contains(out, "LoadShared") {
+		t.Fatalf("types against sharded trader: %q", out)
+	}
+	out := runCtl("query", "LoadShared", "LoadAvg < 1")
+	if !strings.Contains(out, "host-a") {
+		t.Fatalf("query against sharded trader:\n%s", out)
+	}
+	out = runCtl("shards")
+	if !strings.Contains(out, "shard0") || !strings.Contains(out, "shard2") {
+		t.Fatalf("shards output lacks shard names:\n%s", out)
+	}
+	if !strings.Contains(out, "owns: LoadShared") {
+		t.Fatalf("shards output lacks type placement:\n%s", out)
+	}
+	if !strings.Contains(out, "router:") || !strings.Contains(out, "freeStandbys=1") {
+		t.Fatalf("shards output lacks counters:\n%s", out)
+	}
+}

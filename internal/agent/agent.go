@@ -40,8 +40,9 @@ type Options struct {
 	// Network and Address the agent's ORB server listens on. Required.
 	Network orb.Network
 	Address string
-	// Lookup reaches the trading service. Required.
-	Lookup *trading.Lookup
+	// Lookup reaches the trading service — a remote trader (*trading.Lookup),
+	// an in-process one (trading.Local), or a shard router. Required.
+	Lookup trading.Directory
 	// ServiceType of the offer to export. Required.
 	ServiceType string
 	// Servant implements the service. Required.

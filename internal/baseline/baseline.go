@@ -44,7 +44,7 @@ var ErrNoOffers = errors.New("baseline: no offers available")
 // (with a load-aware preference, like [20]) and sticks with the result.
 type Static struct {
 	client      *orb.Client
-	lookup      *trading.Lookup
+	lookup      trading.Directory
 	serviceType string
 	preference  string
 
@@ -53,7 +53,7 @@ type Static struct {
 }
 
 // NewStatic builds a static client. preference defaults to "min LoadAvg".
-func NewStatic(client *orb.Client, lookup *trading.Lookup, serviceType, preference string) *Static {
+func NewStatic(client *orb.Client, lookup trading.Directory, serviceType, preference string) *Static {
 	if preference == "" {
 		preference = "min LoadAvg"
 	}
@@ -111,7 +111,7 @@ func (s *Static) InvokeAsync(ctx context.Context, op string, args ...wire.Value)
 // query for every offer of the type.
 type listBound struct {
 	client      *orb.Client
-	lookup      *trading.Lookup
+	lookup      trading.Directory
 	serviceType string
 
 	mu   sync.Mutex
@@ -142,7 +142,7 @@ type RoundRobin struct {
 }
 
 // NewRoundRobin builds a round-robin client.
-func NewRoundRobin(client *orb.Client, lookup *trading.Lookup, serviceType string) *RoundRobin {
+func NewRoundRobin(client *orb.Client, lookup trading.Directory, serviceType string) *RoundRobin {
 	return &RoundRobin{listBound: listBound{client: client, lookup: lookup, serviceType: serviceType}}
 }
 
@@ -186,7 +186,7 @@ type Random struct {
 }
 
 // NewRandom builds a random-selection client.
-func NewRandom(client *orb.Client, lookup *trading.Lookup, serviceType string, seed int64) *Random {
+func NewRandom(client *orb.Client, lookup trading.Directory, serviceType string, seed int64) *Random {
 	return &Random{
 		listBound: listBound{client: client, lookup: lookup, serviceType: serviceType},
 		rng:       rand.New(rand.NewSource(seed)),

@@ -10,7 +10,7 @@ import (
 // load-aware selection, plus automatic rebinding through the trader when
 // the bound server dies (see package rebind). preference defaults to
 // "min LoadAvg", like Static. The returned Rebinder implements Invoker.
-func NewRebinding(client *orb.Client, lookup *trading.Lookup, serviceType, constraint, preference string) *rebind.Rebinder {
+func NewRebinding(client *orb.Client, lookup trading.Directory, serviceType, constraint, preference string) *rebind.Rebinder {
 	if preference == "" {
 		preference = "min LoadAvg"
 	}

@@ -49,7 +49,10 @@ type Strategy func(ctx context.Context, sp *SmartProxy) error
 // Watch declares one event subscription installed on every server the
 // proxy binds to: on the monitor serving dynamic property Prop, register
 // interest in Event with the shipped Predicate (AdaptScript source,
-// evaluated at the monitor — the paper's Fig. 4).
+// evaluated at the monitor — the paper's Fig. 4). The proxy opens a push
+// subscription (orb.Subscribe) so detections stream back the moment the
+// monitor fires; monitors that predate push fall back to the paper's
+// oneway notifyEvent callback, which needs an ObserverServer.
 type Watch struct {
 	Prop      string
 	Event     string
@@ -62,7 +65,7 @@ type Options struct {
 	Client *orb.Client
 	// Lookup reaches the trading service. Required unless every binding
 	// is made explicitly with BindTo.
-	Lookup *trading.Lookup
+	Lookup trading.Directory
 	// ServiceType is the traded service type to represent.
 	ServiceType string
 	// Constraint is the selection constraint (paper §V: the proxy
@@ -78,7 +81,10 @@ type Options struct {
 	// Watches are installed on each newly selected server's monitors.
 	Watches []Watch
 	// ObserverServer hosts this proxy's EventObserver callback object.
-	// Required when Watches are declared.
+	// Optional: watches are served by push subscriptions; the callback
+	// object is only the fallback for monitors that refuse Subscribe, and
+	// the target for script strategies that re-arm a watch with
+	// attachEventObserver (Fig. 7).
 	ObserverServer *orb.Server
 	// Immediate disables the paper's postponed event handling: strategies
 	// run in the notification upcall instead of before the next
@@ -106,10 +112,19 @@ type observation struct {
 	id      int
 }
 
+// watchSub is one live push subscription serving a Watch, remembered with
+// the monitor it streams from so re-armed watches (replaceObservation) and
+// rebinds can tear it down.
+type watchSub struct {
+	monitor wire.ObjRef
+	sub     *orb.Subscription
+}
+
 type selection struct {
 	result trading.QueryResult
 	proxy  *orb.Proxy
 	obs    []observation
+	subs   []watchSub
 }
 
 // Stats counts proxy activity for the experiment harness.
@@ -120,6 +135,10 @@ type Stats struct {
 	EventsQueued  int64
 	EventsHandled int64
 	FailedInvokes int64
+	// PushWatches counts watches served by a push subscription;
+	// ObserverWatches counts those that fell back to the oneway callback.
+	PushWatches     int64
+	ObserverWatches int64
 }
 
 var observerSeq atomic.Int64
@@ -159,9 +178,6 @@ type Interceptor func(op string, args []wire.Value) error
 func New(opts Options) (*SmartProxy, error) {
 	if opts.Client == nil {
 		return nil, errors.New("core: Options.Client is required")
-	}
-	if len(opts.Watches) > 0 && opts.ObserverServer == nil {
-		return nil, errors.New("core: Options.ObserverServer is required when Watches are set")
 	}
 	sp := &SmartProxy{
 		opts:       opts,
@@ -349,14 +365,30 @@ func (sp *SmartProxy) bindResult(ctx context.Context, r trading.QueryResult) err
 	sp.mu.Unlock()
 
 	// Install watches on the new server's monitors before switching, so
-	// no event window is lost.
+	// no event window is lost. Push subscriptions first: detections stream
+	// back on this connection instead of arriving as Tick-polled oneway
+	// callbacks. The callback path survives only as the fallback for
+	// monitors that refuse Subscribe.
 	newSel := &selection{result: r, proxy: sp.opts.Client.NewProxy(r.Offer.Ref)}
+	var pushed, observed int64
 	for _, w := range sp.opts.Watches {
 		mon, ok := r.Offer.MonitorFor(w.Prop)
 		if !ok {
 			sp.logf("core: offer %s has no monitor for property %q", r.Offer.ID, w.Prop)
 			continue
 		}
+		sub, err := sp.opts.Client.Subscribe(ctx, mon, w.Event, wire.String(w.Predicate))
+		if err == nil {
+			newSel.subs = append(newSel.subs, watchSub{monitor: mon, sub: sub})
+			pushed++
+			go sp.drainSub(sub)
+			continue
+		}
+		if sp.observerRef.IsZero() {
+			sp.logf("core: subscribe %q on %s: %v (no observer fallback configured)", w.Event, mon, err)
+			continue
+		}
+		sp.logf("core: subscribe %q on %s: %v; falling back to oneway observer", w.Event, mon, err)
 		idv, err := sp.opts.Client.Invoke(ctx, mon, "attachEventObserver",
 			wire.Ref(sp.observerRef), wire.String(w.Event), wire.String(w.Predicate))
 		if err != nil {
@@ -368,25 +400,53 @@ func (sp *SmartProxy) bindResult(ctx context.Context, r trading.QueryResult) err
 			id = int(idv[0].Num())
 		}
 		newSel.obs = append(newSel.obs, observation{monitor: mon, id: id})
+		observed++
 	}
 
 	sp.mu.Lock()
 	if sp.closed {
-		obs := newSel.obs
 		sp.mu.Unlock()
-		sp.detach(obs)
+		sp.teardown(newSel)
 		return ErrClosed
 	}
 	sp.sel = newSel
+	sp.stats.PushWatches += pushed
+	sp.stats.ObserverWatches += observed
 	if old != nil {
 		sp.stats.Switches++
 	}
 	sp.mu.Unlock()
 
-	if old != nil {
-		sp.detach(old.obs)
-	}
+	sp.teardown(old)
 	return nil
+}
+
+// drainSub feeds one subscription's pushed events — (eventID, value)
+// pairs — into the proxy's event queue. The goroutine ends when the
+// subscription closes: on rebind, Close, or connection death.
+func (sp *SmartProxy) drainSub(sub *orb.Subscription) {
+	for ev := range sub.Events() {
+		if len(ev) == 0 {
+			continue
+		}
+		sp.OnEvent(ev[0].Str())
+	}
+	if err := sub.Err(); err != nil {
+		sp.logf("core: event subscription ended: %v", err)
+	}
+}
+
+// teardown releases a selection's event plumbing: push subscriptions are
+// closed (which cancels the monitor-side observer) and oneway
+// observations detached.
+func (sp *SmartProxy) teardown(sel *selection) {
+	if sel == nil {
+		return
+	}
+	for _, ws := range sel.subs {
+		_ = ws.sub.Close()
+	}
+	sp.detach(sel.obs)
 }
 
 // replaceObservation swaps the proxy's managed observation(s) on mon for
@@ -396,6 +456,7 @@ func (sp *SmartProxy) bindResult(ctx context.Context, r trading.QueryResult) err
 func (sp *SmartProxy) replaceObservation(mon wire.ObjRef, newID int) {
 	sp.mu.Lock()
 	var toDetach []observation
+	var toClose []*orb.Subscription
 	if sp.sel != nil {
 		kept := sp.sel.obs[:0]
 		for _, o := range sp.sel.obs {
@@ -406,8 +467,22 @@ func (sp *SmartProxy) replaceObservation(mon wire.ObjRef, newID int) {
 			}
 		}
 		sp.sel.obs = append(kept, observation{monitor: mon, id: newID})
+		// A push subscription on the same monitor is superseded too: the
+		// strategy's new predicate replaces the one the subscription ships.
+		keptSubs := sp.sel.subs[:0]
+		for _, ws := range sp.sel.subs {
+			if ws.monitor == mon {
+				toClose = append(toClose, ws.sub)
+			} else {
+				keptSubs = append(keptSubs, ws)
+			}
+		}
+		sp.sel.subs = keptSubs
 	}
 	sp.mu.Unlock()
+	for _, s := range toClose {
+		_ = s.Close()
+	}
 	sp.detach(toDetach)
 }
 
@@ -570,13 +645,10 @@ func (sp *SmartProxy) Close() {
 		return
 	}
 	sp.closed = true
-	var obs []observation
-	if sp.sel != nil {
-		obs = sp.sel.obs
-		sp.sel = nil
-	}
+	sel := sp.sel
+	sp.sel = nil
 	sp.mu.Unlock()
-	sp.detach(obs)
+	sp.teardown(sel)
 	if sp.opts.ObserverServer != nil {
 		sp.opts.ObserverServer.Unregister(sp.observerKey)
 	}

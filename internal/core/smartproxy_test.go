@@ -287,6 +287,45 @@ func TestEventQueuedAndHandledBeforeNextInvocation(t *testing.T) {
 	if st.Switches != 1 || st.EventsHandled != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// Both bindings served the watch by push subscription, not the oneway
+	// callback fallback.
+	if st.PushWatches != 2 || st.ObserverWatches != 0 {
+		t.Fatalf("watch stats = %+v, want 2 push / 0 observer", st)
+	}
+}
+
+// TestWatchFallsBackToOnewayObserver covers monitors that predate push:
+// a servant without EventSource refuses Subscribe, and the proxy installs
+// the paper's oneway notifyEvent observer instead.
+func TestWatchFallsBackToOnewayObserver(t *testing.T) {
+	w := newWorld(t, 1)
+	w.setLoad(0, 10, 15, 15)
+
+	// Re-register host-0's monitor behind a plain Servant wrapper: same
+	// operations, but no Subscribe.
+	inner := monitor.NewServant(w.monitors[0])
+	w.hosts[0].Register("monitor/LoadAvg", "", orb.ServantFunc(inner.Invoke))
+
+	sp := w.newProxy(Options{
+		ObserverServer: w.obsSrv,
+		Watches: []Watch{{
+			Prop:      "LoadAvg",
+			Event:     monitor.LoadIncreaseEvent,
+			Predicate: monitor.LoadIncreasePredicateSrc(50),
+		}},
+	})
+	ctx := context.Background()
+	if err := sp.Bind(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := sp.Stats()
+	if st.PushWatches != 0 || st.ObserverWatches != 1 {
+		t.Fatalf("watch stats = %+v, want 0 push / 1 observer", st)
+	}
+	// The fallback path still delivers: spike the load and watch the
+	// notification arrive through the observer servant.
+	w.setLoad(0, 60, 30, 20)
+	waitFor(t, func() bool { return len(sp.PendingEvents()) == 1 })
 }
 
 func TestDuplicateEventsCollapse(t *testing.T) {
@@ -456,9 +495,9 @@ func TestCloseDetachesAndRejects(t *testing.T) {
 	}
 	sp.Close()
 	sp.Close() // idempotent
-	if w.monitors[0].ObserverCount() != 0 {
-		t.Fatal("Close did not detach observations")
-	}
+	// The monitor-side detach rides the unsubscribe frame, so it lands
+	// asynchronously.
+	waitFor(t, func() bool { return w.monitors[0].ObserverCount() == 0 })
 	if _, err := sp.Invoke(context.Background(), "hello"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Invoke after close = %v", err)
 	}
@@ -578,11 +617,15 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Options{}); err == nil {
 		t.Fatal("missing client accepted")
 	}
+	// Watches no longer require an ObserverServer: they are served by push
+	// subscriptions, and the callback object is only the oneway fallback.
 	client := orb.NewClient(orb.NewInprocNetwork())
 	defer client.Close()
-	if _, err := New(Options{Client: client, Watches: []Watch{{}}}); err == nil {
-		t.Fatal("watches without observer server accepted")
+	sp, err := New(Options{Client: client, Watches: []Watch{{}}})
+	if err != nil {
+		t.Fatalf("watches without observer server rejected: %v", err)
 	}
+	sp.Close()
 }
 
 func TestSelectWithoutLookup(t *testing.T) {

@@ -153,6 +153,12 @@ type observer struct {
 	sink orb.EventSink
 	// failures counts consecutive failed notifications (quarantine).
 	failures int
+	// notifiedVersion is the value version this push observer last fired
+	// at. Detection may run more than once per sample (SetValue streams
+	// immediately, then the next Tick re-detects the same value); push
+	// observers fire at most once per version so subscribers see one event
+	// per sample. Classic observers stay level-triggered per tick.
+	notifiedVersion uint64
 }
 
 // Monitor observes one property. It implements the paper's BasicMonitor,
@@ -164,6 +170,7 @@ type Monitor struct {
 	mu        sync.Mutex
 	in        *script.Interp
 	value     script.Value
+	version   uint64       // bumped whenever value is (re)set; starts at 1
 	updateFn  script.Value // compiled UpdateScript, if any
 	aspects   map[string]*aspect
 	observers map[int]*observer
@@ -185,6 +192,7 @@ func New(opts Options) (*Monitor, error) {
 	m := &Monitor{
 		opts:      opts,
 		in:        script.New(script.Options{MaxSteps: opts.MaxScriptSteps, Clock: opts.Clock}),
+		version:   1,
 		aspects:   make(map[string]*aspect),
 		observers: make(map[int]*observer),
 	}
@@ -326,6 +334,7 @@ func (m *Monitor) Tick() error {
 			return fmt.Errorf("monitor %s: update: %w", m.opts.Name, err)
 		}
 		m.value = script.FromWire(v)
+		m.version++
 	case m.updateFn.IsFunction():
 		vs, err := m.in.Call(m.updateFn, nil)
 		if err != nil {
@@ -334,6 +343,7 @@ func (m *Monitor) Tick() error {
 		}
 		if len(vs) > 0 {
 			m.value = vs[0]
+			m.version++
 		}
 	}
 	toNotify, val := m.detectLocked()
@@ -376,6 +386,12 @@ func (m *Monitor) detectLocked() ([]*observer, wire.Value) {
 	sort.Ints(ids)
 	for _, id := range ids {
 		o := m.observers[id]
+		if o.sink != nil && o.notifiedVersion == m.version {
+			// Push observer already streamed this sample (SetValue runs
+			// detection immediately; a following Tick re-detects the same
+			// value). Don't push a duplicate event.
+			continue
+		}
 		obsArg := script.Nil()
 		if !o.ref.IsZero() {
 			obsArg = script.Ref(o.ref)
@@ -386,6 +402,9 @@ func (m *Monitor) detectLocked() ([]*observer, wire.Value) {
 			continue
 		}
 		if len(vs) > 0 && vs[0].Truthy() {
+			if o.sink != nil {
+				o.notifiedVersion = m.version
+			}
 			toNotify = append(toNotify, o)
 		}
 	}
@@ -500,6 +519,7 @@ func (m *Monitor) SetValue(v wire.Value) error {
 		return ErrClosed
 	}
 	m.value = script.FromWire(v)
+	m.version++
 	var toNotify []*observer
 	val := wire.Nil()
 	if m.hasPushObserversLocked() {

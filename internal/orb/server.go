@@ -86,6 +86,28 @@ type ServerOptions struct {
 	Repo *idl.Repository
 	// Logger receives connection-level errors. Nil discards them.
 	Logger *log.Logger
+	// BatchWindow, when positive, coalesces reply and event frames per
+	// connection for up to this long (or until BatchBytes accumulate) and
+	// writes them with one syscall — the server-side mirror of
+	// ClientOptions.BatchWindow. Replies gain up to BatchWindow of
+	// latency, so this suits pipelined/async traffic, not ping-pong RPC.
+	BatchWindow time.Duration
+	// BatchBytes is the pending-byte threshold that flushes a reply batch
+	// early. 0 means DefaultBatchBytes. Ignored unless BatchWindow > 0.
+	BatchBytes int
+}
+
+// ServerStats is a snapshot of a server's counters.
+type ServerStats struct {
+	// BatchedFrames counts reply/event frames that went through a write
+	// batch rather than straight to the socket.
+	BatchedFrames uint64
+	// BatchFlushes counts coalesced writes (syscalls) for those frames.
+	BatchFlushes uint64
+}
+
+type serverStats struct {
+	batchedFrames, batchFlushes atomic.Uint64
 }
 
 // Server is an object adapter: it owns a listener, a table of servants
@@ -102,7 +124,17 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	connsMu sync.Mutex
 
+	stats serverStats
+
 	wg sync.WaitGroup
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		BatchedFrames: s.stats.batchedFrames.Load(),
+		BatchFlushes:  s.stats.batchFlushes.Load(),
+	}
 }
 
 type servantEntry struct {
@@ -226,16 +258,23 @@ type connJob struct {
 
 // connWriter serializes frame writes on one server connection. Reply
 // writes and event pushes share it, so a pushed event can never interleave
-// bytes with a reply.
+// bytes with a reply. With batching enabled (ServerOptions.BatchWindow)
+// frames detour through the connection's serverBatch instead.
 type connWriter struct {
-	conn net.Conn
-	mu   sync.Mutex
+	conn  net.Conn
+	mu    sync.Mutex
+	batch *serverBatch // non-nil when reply batching is enabled
 }
 
 // writeFrame writes one framed buffer under the connection write lock,
 // bounded by deadline when non-zero (set and cleared inside the lock so
-// concurrent writers' deadlines never clobber each other).
+// concurrent writers' deadlines never clobber each other). With batching
+// enabled the frame is queued instead and the batch's flush applies its
+// own write deadline.
 func (w *connWriter) writeFrame(fb *wire.FrameBuffer, deadline time.Time) error {
+	if w.batch != nil {
+		return w.batch.add(fb)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if !deadline.IsZero() {
@@ -301,6 +340,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.connsMu.Unlock()
 	}()
 	cw := &connWriter{conn: conn}
+	if s.opts.BatchWindow > 0 {
+		cw.batch = newServerBatch(s, cw, conn, s.opts.BatchWindow, s.opts.BatchBytes)
+		defer cw.batch.stop()
+	}
 	var reqWG sync.WaitGroup
 	var worker chan connJob // resident worker, started on first demand
 	// subs holds this connection's push streams. Only the read goroutine

@@ -1,0 +1,119 @@
+package orb
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"autoadapt/internal/wire"
+)
+
+// serverBatch is the server-side mirror of the client's batchWriter: reply
+// and event frames bound for one connection coalesce into a single buffer
+// and go out in one syscall, either when the flush window elapses or when
+// the pending bytes pass the threshold. Frames are length-prefixed, so the
+// client's FrameReader splits the coalesced write back apart with no wire
+// change. The win is symmetric to client batching: a pipelining client
+// (async invocations, many in-flight requests) otherwise costs the server
+// one write syscall per reply.
+//
+// Lock order mirrors batch.go: sb.mu is leaf-level for add/stop; the flush
+// path holds the connWriter's mu while draining under sb.mu, never the
+// reverse. A write failure closes the connection outside both locks.
+type serverBatch struct {
+	s      *Server
+	w      *connWriter
+	conn   net.Conn
+	window time.Duration
+	limit  int
+
+	mu      sync.Mutex
+	buf     []byte
+	timer   *time.Timer // armed while buf is non-empty
+	stopped bool
+}
+
+func newServerBatch(s *Server, w *connWriter, conn net.Conn, window time.Duration, limit int) *serverBatch {
+	if limit <= 0 {
+		limit = DefaultBatchBytes
+	}
+	return &serverBatch{s: s, w: w, conn: conn, window: window, limit: limit}
+}
+
+// add appends fb's frame to the batch. The frame bytes are copied (fb goes
+// back to its pool immediately after) and the flush timer is armed on the
+// first frame of a batch. Crossing the byte threshold flushes inline on
+// the caller.
+func (sb *serverBatch) add(fb *wire.FrameBuffer) error {
+	frame, err := fb.Frame()
+	if err != nil {
+		return err
+	}
+	sb.mu.Lock()
+	if sb.stopped {
+		sb.mu.Unlock()
+		return net.ErrClosed
+	}
+	sb.buf = append(sb.buf, frame...)
+	sb.s.stats.batchedFrames.Add(1)
+	if len(sb.buf) >= sb.limit {
+		sb.mu.Unlock()
+		return sb.flush()
+	}
+	if sb.timer == nil {
+		sb.timer = time.AfterFunc(sb.window, func() {
+			_ = sb.flush()
+		})
+	}
+	sb.mu.Unlock()
+	return nil
+}
+
+// flush takes the pending batch and writes it as one syscall under the
+// connection's write lock. Concurrent flushes serialize on the write lock;
+// whichever runs first drains the buffer and the rest write nothing.
+func (sb *serverBatch) flush() error {
+	sb.w.mu.Lock()
+	sb.mu.Lock()
+	buf := sb.buf
+	sb.buf = nil
+	if sb.timer != nil {
+		sb.timer.Stop()
+		sb.timer = nil
+	}
+	stopped := sb.stopped
+	sb.mu.Unlock()
+	if stopped || len(buf) == 0 {
+		sb.w.mu.Unlock()
+		return nil
+	}
+	_ = sb.conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
+	_, err := sb.conn.Write(buf)
+	_ = sb.conn.SetWriteDeadline(time.Time{})
+	sb.w.mu.Unlock()
+	if err != nil {
+		// The stream position is undefined mid-batch: drop the connection.
+		// The read loop observes the close and tears the connection down,
+		// which is the same outcome an unbatched write failure has.
+		sb.stop()
+		_ = sb.conn.Close()
+		return fmt.Errorf("orb: batched reply write failed: %w", err)
+	}
+	sb.s.stats.batchFlushes.Add(1)
+	return nil
+}
+
+// stop retires the batch on connection teardown. Pending frames are
+// dropped — their requesters observe the connection's death, exactly as
+// with an unbatched write failure.
+func (sb *serverBatch) stop() {
+	sb.mu.Lock()
+	sb.stopped = true
+	sb.buf = nil
+	if sb.timer != nil {
+		sb.timer.Stop()
+		sb.timer = nil
+	}
+	sb.mu.Unlock()
+}

@@ -35,8 +35,9 @@ var ErrNoOffers = errors.New("rebind: no live offers")
 type Options struct {
 	// Client performs the invocations. Required.
 	Client *orb.Client
-	// Lookup reaches the trading service. Required.
-	Lookup *trading.Lookup
+	// Lookup reaches the trading service — a remote trader (*trading.Lookup),
+	// an in-process one (trading.Local), or a shard router. Required.
+	Lookup trading.Directory
 	// ServiceType, Constraint, and Preference are replayed verbatim on
 	// every (re)binding query, so a rebind applies the same selection
 	// policy as the original bind. ServiceType is required.

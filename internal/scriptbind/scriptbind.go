@@ -161,7 +161,7 @@ func Bind(client *orb.Client, proxy script.Value, ops ...string) error {
 //
 // Property tables may nest {dynamic=<objref>, aspect="..."} exactly like
 // the wire form.
-func InstallTrading(in *script.Interp, lookup *trading.Lookup) {
+func InstallTrading(in *script.Interp, lookup trading.Directory) {
 	lib := script.NewTable()
 
 	lib.SetString("query", script.Func("trader.query", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {

@@ -184,21 +184,32 @@ func (t *Trader) StartReaper(interval time.Duration) (stop func()) {
 // offer leave its state untouched, as does a query whose ctx was canceled
 // (the failures indict the caller, not the monitors).
 func (t *Trader) noteResolveOutcomes(ctx context.Context, candidates []offerView, outcomes []resolveOutcome) {
+	// Check under the read lock first and upgrade only when some record
+	// actually needs mutating. In the steady state — healthy monitors, no
+	// quarantine counters to reset — every outcome is resolveAllOK against
+	// records already at fails == 0, so hot read-only queries never
+	// serialize on the trader's write lock.
 	t.mu.RLock()
 	threshold := t.quarThreshold
-	t.mu.RUnlock()
-	if threshold < 1 || ctx.Err() != nil {
-		return
-	}
 	dirty := false
-	for _, oc := range outcomes {
-		if oc != resolveNone {
-			dirty = true
-			break
+	if threshold >= 1 && ctx.Err() == nil {
+		for i := range candidates {
+			switch outcomes[i] {
+			case resolveSomeFailed:
+				dirty = true
+			case resolveAllOK:
+				if rec, ok := t.offers[candidates[i].o.ID]; ok && (rec.fails != 0 || rec.quarantined) {
+					dirty = true
+				}
+			}
+			if dirty {
+				break
+			}
 		}
 	}
+	t.mu.RUnlock()
 	if !dirty {
-		return // purely static query: no liveness evidence, no write lock
+		return // nothing to record: no liveness evidence, no write lock
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

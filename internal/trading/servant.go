@@ -33,22 +33,44 @@ interface Register {
 
 interface Trader : Lookup, Register {
     any listTypes();
+    any stats();
+    any shardStatus();
 };
 `
 
 // DefaultObjectKey is the well-known key traders register under.
 const DefaultObjectKey = "Trader"
 
-// Servant exposes a Trader over the ORB. Wire representation:
+// Servant exposes a trading directory over the ORB. Wire representation:
 //
 //	properties:  table{ name = value | table{dynamic=<objref>, aspect=string} }
 //	query reply: list of table{id, type, ref, properties=table{name=value}}
+//
+// The directory behind the servant can be a single in-process trader
+// (NewServant) or any other Directory implementation, such as the shard
+// routing client (NewDirectoryServant) — callers on the wire cannot tell
+// the difference.
 type Servant struct {
-	trader *Trader
+	dir   Directory
+	types func() []string            // listTypes; nil → empty list
+	stats func() (TraderStats, bool) // stats; nil or false → unsupported
 }
 
-// NewServant wraps t.
-func NewServant(t *Trader) *Servant { return &Servant{trader: t} }
+// NewServant wraps an in-process trader.
+func NewServant(t *Trader) *Servant {
+	return &Servant{
+		dir:   Local{T: t},
+		types: t.TypeNames,
+		stats: func() (TraderStats, bool) { return t.Stats(), true },
+	}
+}
+
+// NewDirectoryServant exposes an arbitrary Directory — most usefully the
+// shard router — under the same wire interface as a single trader.
+// typeNames backs the listTypes operation and may be nil.
+func NewDirectoryServant(d Directory, typeNames func() []string) *Servant {
+	return &Servant{dir: d, types: typeNames}
+}
 
 var _ orb.Servant = (*Servant)(nil)
 
@@ -71,7 +93,7 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 		if len(args) > 2 {
 			preference = args[2].Str()
 		}
-		results, err := s.trader.Query(ctx, args[0].Str(), constraint, preference, max)
+		results, err := s.dir.Query(ctx, args[0].Str(), constraint, preference, max)
 		if err != nil {
 			return nil, orb.Appf("query: %v", err)
 		}
@@ -88,7 +110,7 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 		if err != nil {
 			return nil, orb.Appf("export: %v", err)
 		}
-		id, err := s.trader.Export(args[0].Str(), ref, props)
+		id, err := s.dir.Export(ctx, args[0].Str(), ref, props)
 		if err != nil {
 			return nil, orb.Appf("export: %v", err)
 		}
@@ -97,7 +119,7 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 		if len(args) < 1 {
 			return nil, orb.Appf("withdraw: offer id required")
 		}
-		if err := s.trader.Withdraw(args[0].Str()); err != nil {
+		if err := s.dir.Withdraw(ctx, args[0].Str()); err != nil {
 			return nil, orb.Appf("withdraw: %v", err)
 		}
 		return nil, nil
@@ -109,7 +131,7 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 		if err != nil {
 			return nil, orb.Appf("modify: %v", err)
 		}
-		if err := s.trader.Modify(args[0].Str(), props); err != nil {
+		if err := s.dir.Modify(ctx, args[0].Str(), props); err != nil {
 			return nil, orb.Appf("modify: %v", err)
 		}
 		return nil, nil
@@ -117,7 +139,7 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 		if len(args) < 1 {
 			return nil, orb.Appf("renew: offer id required")
 		}
-		if err := s.trader.Renew(args[0].Str()); err != nil {
+		if err := s.dir.Renew(ctx, args[0].Str()); err != nil {
 			return nil, orb.Appf("renew: %v", err)
 		}
 		return nil, nil
@@ -136,13 +158,23 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 				}
 			}
 		}
-		s.trader.AddType(st)
+		if err := s.dir.AddType(ctx, st); err != nil {
+			return nil, orb.Appf("addType: %v", err)
+		}
 		return nil, nil
+	case "stats":
+		if s.stats != nil {
+			if st, ok := s.stats(); ok {
+				return []wire.Value{statsToWire(st)}, nil
+			}
+		}
+		return nil, orb.Appf("trader: stats not available through this endpoint")
 	case "listTypes":
-		names := s.trader.TypeNames()
 		out := wire.NewTable()
-		for _, n := range names {
-			out.Append(wire.String(n))
+		if s.types != nil {
+			for _, n := range s.types() {
+				out.Append(wire.String(n))
+			}
 		}
 		return []wire.Value{wire.TableVal(out)}, nil
 	default:

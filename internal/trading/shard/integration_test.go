@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autoadapt/internal/agent"
+	"autoadapt/internal/monitor"
+	"autoadapt/internal/orb"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// TestKillShardMidLoad is the acceptance scenario from the roadmap: sever
+// the owning shard while clients are querying and invoking, and require
+//
+//   - rerouting: queries keep answering from the surviving shards,
+//   - zero lost invocations: no query or service call ever fails, and
+//   - recovery: the agents' lease heartbeats re-export every offer to the
+//     new owner within one lease TTL of the kill.
+//
+// The full stack is real: trader shards behind ORB servers, remote
+// Lookups, agents with lease heartbeats, application servants on their
+// own servers. Only the trader shard dies — application traffic must not
+// notice.
+func TestKillShardMidLoad(t *testing.T) {
+	const (
+		nShards = 3
+		nAgents = 4
+		ttl     = 2 * time.Second
+	)
+	net := orb.NewInprocNetwork()
+	ctx := context.Background()
+
+	resolver := orb.NewClient(net)
+	t.Cleanup(func() { _ = resolver.Close() })
+	lookupClient := orb.NewClient(net)
+	t.Cleanup(func() { _ = lookupClient.Close() })
+
+	srvs := make([]*orb.Server, nShards)
+	shards := make([]trading.Directory, nShards)
+	traders := make([]*trading.Trader, nShards)
+	for i := 0; i < nShards; i++ {
+		tr := trading.NewTrader(trading.ClientResolver{Client: resolver})
+		tr.SetLeaseTTL(ttl)
+		traders[i] = tr
+		srv, err := orb.NewServer(orb.ServerOptions{Network: net, Address: fmt.Sprintf("trader-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		srvs[i] = srv
+		ref := srv.Register(trading.DefaultObjectKey, "", trading.NewServant(tr))
+		shards[i] = trading.NewLookup(lookupClient, ref)
+	}
+	router, err := NewRouter(Options{Shards: shards, HandoffGrace: 2 * ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.AddType(ctx, trading.ServiceType{Name: "KV", Interface: "Service"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Agents export through the router with lease heartbeats: when the
+	// owning shard dies, Renew answers ErrUnknownOffer and the heartbeat
+	// re-exports — which Export routes to the new owner.
+	for i := 0; i < nAgents; i++ {
+		name := fmt.Sprintf("agent-%d", i)
+		a, err := agent.Start(ctx, agent.Options{
+			Network:     net,
+			Address:     name,
+			Lookup:      router,
+			ServiceType: "KV",
+			Servant: orb.ServantFunc(func(op string, args []wire.Value) ([]wire.Value, error) {
+				return []wire.Value{wire.String(name)}, nil
+			}),
+			LoadSource: monitor.LoadSourceFunc(func() (float64, float64, float64, error) {
+				return 0.5, 0.5, 0.5, nil
+			}),
+			LeaseTTL: ttl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = a.Close(context.Background()) })
+	}
+	if got := len(queryAll(t, router)); got != nAgents {
+		t.Fatalf("exported %d offers, want %d", got, nAgents)
+	}
+	firstOwner := router.Owner("KV")
+	if firstOwner < 0 {
+		t.Fatal("no owner for KV")
+	}
+
+	// Client load: query through the router, track the best offer, invoke
+	// it. Every query and every invocation must succeed; an empty query
+	// result (the re-export window) keeps the current binding, which is
+	// the smart proxy's Fig. 7 behaviour.
+	appClient := orb.NewClient(net)
+	t.Cleanup(func() { _ = appClient.Close() })
+	var (
+		stop     atomic.Bool
+		failures atomic.Int64
+		invokes  atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var bound wire.ObjRef
+			for !stop.Load() {
+				rs, err := router.Query(ctx, "KV", "", "", 0)
+				if err != nil {
+					t.Errorf("query failed: %v", err)
+					failures.Add(1)
+					return
+				}
+				if len(rs) > 0 {
+					bound = rs[0].Offer.Ref
+				}
+				if bound.IsZero() {
+					continue
+				}
+				if _, err := appClient.Invoke(ctx, bound, "get"); err != nil {
+					t.Errorf("invoke failed: %v", err)
+					failures.Add(1)
+					return
+				}
+				invokes.Add(1)
+			}
+		}()
+	}
+
+	// Let the load establish, then sever the owning shard.
+	time.Sleep(100 * time.Millisecond)
+	killedAt := time.Now()
+	_ = srvs[firstOwner].Close()
+
+	// All offers must reappear at the new owner within one lease TTL.
+	deadline := killedAt.Add(ttl)
+	for {
+		if rs := queryAll(t, router); len(rs) == nAgents {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("offers not re-exported within one lease TTL (%v): have %d of %d",
+				ttl, len(queryAll(t, router)), nAgents)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	reexportedIn := time.Since(killedAt)
+
+	stop.Store(true)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d invocations lost", failures.Load())
+	}
+	if invokes.Load() == 0 {
+		t.Fatal("load loop performed no invocations")
+	}
+	newOwner := router.Owner("KV")
+	if newOwner == firstOwner {
+		t.Fatalf("ownership did not move off the dead shard %d", firstOwner)
+	}
+	if router.Alive(firstOwner) {
+		t.Fatal("dead shard still considered alive")
+	}
+	if countOffers(t, traders[newOwner], "KV") != nAgents {
+		t.Fatalf("new owner %d holds %d offers, want %d", newOwner,
+			countOffers(t, traders[newOwner], "KV"), nAgents)
+	}
+	st := router.Stats()
+	if st.Reassigns == 0 || st.MigratedRenews+st.ShardStrikes == 0 {
+		t.Fatalf("stats show no rerouting: %+v", st)
+	}
+	t.Logf("re-exported %d offers in %v (TTL %v); %d invocations, 0 lost; stats %+v",
+		nAgents, reexportedIn, ttl, invokes.Load(), st)
+}
+
+// queryAll fetches every live KV offer through the router.
+func queryAll(t *testing.T, r *Router) []trading.QueryResult {
+	t.Helper()
+	rs, err := r.Query(context.Background(), "KV", "", "", 0)
+	if err != nil {
+		t.Fatalf("queryAll: %v", err)
+	}
+	return rs
+}
+
+// TestRebalanceChurnRace exercises the router under simultaneous replica
+// attach/detach, shard death/revival, and query load. Its assertions are
+// deliberately light — the test's job is to let the race detector see the
+// router's hot paths (route, readTarget, noteFault/noteOK, reassign)
+// interleave with membership mutation, and to prove the router is still
+// consistent once the churn stops.
+func TestRebalanceChurnRace(t *testing.T) {
+	ctx := context.Background()
+	router, traders, flaky := newCluster(t, 3, Options{HandoffGrace: 20 * time.Millisecond})
+	types := make([]string, 8)
+	for i := range types {
+		types[i] = fmt.Sprintf("Churn%d", i)
+		if err := router.AddType(ctx, trading.ServiceType{Name: types[i], Interface: "Svc"}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			if _, err := router.Export(ctx, types[i], svcRef(i*10+j), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	// Queriers: errors are expected while a shard is down (the kill/revive
+	// churner below races with rerouting), so they only drive traffic.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				st := types[(w+i)%len(types)]
+				_, _ = router.Query(ctx, st, "", "", 0)
+				if i%7 == 0 {
+					_, _ = router.QueryTypes(ctx, types[:4], "", "", 0)
+				}
+			}
+		}(w)
+	}
+	// Replica churner: attach a primed replica, let a few reads rotate
+	// through it, drop it again.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			rep := trading.NewTrader(nil)
+			for _, st := range types {
+				rep.AddType(trading.ServiceType{Name: st, Interface: "Svc"})
+			}
+			dir := trading.Local{T: rep}
+			idx := i % router.NumShards()
+			router.AttachReplica(idx, dir)
+			for j := 0; j < 8; j++ {
+				_, _ = router.Query(ctx, types[j%len(types)], "", "", 0)
+			}
+			router.DetachReplica(idx, dir)
+		}
+	}()
+	// Death churner: kill and revive shard 0.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			flaky[0].setDown(true)
+			time.Sleep(2 * time.Millisecond)
+			flaky[0].setDown(false)
+			router.noteOK(0) // the manager's heartbeat poll, compressed
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	// Settled state: every shard live, no replicas left, every type
+	// answers with its full offer set.
+	router.noteOK(0)
+	for i := 0; i < router.NumShards(); i++ {
+		if !router.Alive(i) {
+			t.Fatalf("shard %d dead after churn stopped", i)
+		}
+		if router.Replicas(i) != 0 {
+			t.Fatalf("shard %d kept %d replicas", i, router.Replicas(i))
+		}
+	}
+	total := 0
+	for _, tr := range traders {
+		for _, st := range types {
+			total += countOffers(t, tr, st)
+		}
+	}
+	if total != len(types)*4 {
+		t.Fatalf("offers after churn = %d, want %d", total, len(types)*4)
+	}
+	if st := router.Stats(); st.ReplicaReads == 0 {
+		t.Fatalf("no query was served by a replica: %+v", st)
+	}
+}

@@ -1,0 +1,390 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoadapt/internal/clock"
+	"autoadapt/internal/trading"
+)
+
+// ManagerOptions configures a Manager.
+type ManagerOptions struct {
+	// Router is the routing client whose shards the manager supervises.
+	// Required.
+	Router *Router
+	// Standbys is the pool of spare traders the manager promotes to read
+	// replicas of hot shards and demotes back when load subsides. Each
+	// standby must be an empty trader (the manager owns its offer set)
+	// whose resolver can reach the same monitors the primaries use.
+	Standbys []trading.Directory
+	// Interval is the control-loop period: every tick the manager polls
+	// per-shard stats, adjusts replication, and re-syncs attached
+	// replicas. Default 2s.
+	Interval time.Duration
+	// PollTimeout bounds one tick's remote calls. Default Interval (or 2s
+	// when Interval is unset).
+	PollTimeout time.Duration
+	// HotRPS is the per-shard query rate above which the manager attaches
+	// a read replica. Default 100.
+	HotRPS float64
+	// CoolRPS is the query rate below which the manager detaches one
+	// replica. Default HotRPS/4 — kept well under HotRPS so load hovering
+	// near the threshold does not thrash replicas on and off.
+	CoolRPS float64
+	// HotLatency, when non-zero, also attaches a replica when a shard's
+	// mean query latency over the last interval exceeds it, regardless of
+	// RPS — a shard can be slow without being busy (expensive dynamic
+	// properties).
+	HotLatency time.Duration
+	// MaxReplicasPerShard caps replication per shard. Default 2.
+	MaxReplicasPerShard int
+	// Clock drives the control loop. Default the real clock.
+	Clock clock.Clock
+	// Logger receives scaling decisions. Nil discards.
+	Logger *log.Logger
+}
+
+// ManagerStats counts a Manager's activity.
+type ManagerStats struct {
+	// Ticks counts completed control-loop iterations.
+	Ticks int64
+	// Grows counts replica attachments.
+	Grows int64
+	// Shrinks counts replica detachments.
+	Shrinks int64
+	// SyncedOffers counts offers copied primary -> replica.
+	SyncedOffers int64
+	// PollFails counts failed per-shard stats polls (the heartbeat misses).
+	PollFails int64
+}
+
+// replica is one standby attached to a shard.
+type replica struct {
+	dir trading.Directory
+	// synced maps the primary's offer id to the id the replica assigned,
+	// so re-syncs can renew/withdraw instead of re-exporting.
+	synced map[string]string
+}
+
+// Manager is the shard-manager control loop: it polls every shard
+// primary's TraderStats each tick — the poll doubling as the liveness
+// heartbeat — and grows or shrinks each shard's read-replica set based on
+// observed load. Replicas are primed and kept current through the ordinary
+// trading surface (AddType/Export/Renew/Withdraw), so any Directory — an
+// in-process trader or a remote one — can serve as a standby.
+type Manager struct {
+	opts   ManagerOptions
+	router *Router
+
+	mu       sync.Mutex
+	free     []trading.Directory
+	replicas map[int][]*replica
+	prev     []trading.TraderStats
+	prevAt   []time.Time
+	havePrev []bool
+
+	ticks, grows, shrinks, synced, pollFails atomic.Int64
+}
+
+// NewManager builds a Manager. Call Start to run the control loop, or Tick
+// to drive it manually (tests).
+func NewManager(opts ManagerOptions) (*Manager, error) {
+	if opts.Router == nil {
+		return nil, fmt.Errorf("shard: ManagerOptions.Router is required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.PollTimeout <= 0 {
+		opts.PollTimeout = opts.Interval
+	}
+	if opts.HotRPS <= 0 {
+		opts.HotRPS = 100
+	}
+	if opts.CoolRPS <= 0 {
+		opts.CoolRPS = opts.HotRPS / 4
+	}
+	if opts.MaxReplicasPerShard <= 0 {
+		opts.MaxReplicasPerShard = 2
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	n := opts.Router.NumShards()
+	return &Manager{
+		opts:     opts,
+		router:   opts.Router,
+		free:     append([]trading.Directory(nil), opts.Standbys...),
+		replicas: make(map[int][]*replica),
+		prev:     make([]trading.TraderStats, n),
+		prevAt:   make([]time.Time, n),
+		havePrev: make([]bool, n),
+	}, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logger != nil {
+		m.opts.Logger.Printf(format, args...)
+	}
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Ticks:        m.ticks.Load(),
+		Grows:        m.grows.Load(),
+		Shrinks:      m.shrinks.Load(),
+		SyncedOffers: m.synced.Load(),
+		PollFails:    m.pollFails.Load(),
+	}
+}
+
+// FreeStandbys reports how many standbys are currently unattached.
+func (m *Manager) FreeStandbys() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free)
+}
+
+// Start runs the control loop every Interval on the manager's clock until
+// the returned stop function is called. stop is idempotent and blocks
+// until the loop goroutine has exited.
+func (m *Manager) Start() (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	ch, cancel := m.opts.Clock.After(m.opts.Interval)
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ch:
+				ctx, cancelCtx := context.WithTimeout(context.Background(), m.opts.PollTimeout)
+				m.Tick(ctx)
+				cancelCtx()
+			case <-stopCh:
+				cancel()
+				return
+			}
+			ch, cancel = m.opts.Clock.After(m.opts.Interval)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-done
+		})
+	}
+}
+
+// Tick runs one control-loop iteration: heartbeat-poll every shard, grow
+// or shrink replica sets, and re-sync attached replicas. Exported so tests
+// (and adaptctl) can drive the loop deterministically.
+func (m *Manager) Tick(ctx context.Context) {
+	defer m.ticks.Add(1)
+	for i := 0; i < m.router.NumShards(); i++ {
+		m.tickShard(ctx, i)
+	}
+}
+
+func (m *Manager) tickShard(ctx context.Context, idx int) {
+	sp, ok := m.router.shards[idx].primary.(trading.StatsProvider)
+	if !ok {
+		// No instrumentation: nothing to heartbeat or rebalance on.
+		return
+	}
+	st, err := sp.Stats(ctx)
+	if err != nil {
+		m.pollFails.Add(1)
+		m.router.noteFault(idx, err)
+		if !m.router.Alive(idx) {
+			// A dead shard's types have moved; its replicas serve stale
+			// data for types nobody routes to them anymore.
+			m.shrinkAll(ctx, idx, "shard dead")
+			m.mu.Lock()
+			m.havePrev[idx] = false
+			m.mu.Unlock()
+		}
+		return
+	}
+	m.router.noteOK(idx)
+
+	now := m.opts.Clock.Now()
+	m.mu.Lock()
+	var rps float64
+	var lat time.Duration
+	if m.havePrev[idx] {
+		rps = st.RPS(m.prev[idx], now.Sub(m.prevAt[idx]))
+		lat = st.MeanLatency(m.prev[idx])
+	}
+	first := !m.havePrev[idx]
+	m.prev[idx], m.prevAt[idx], m.havePrev[idx] = st, now, true
+	nrep := len(m.replicas[idx])
+	free := len(m.free)
+	m.mu.Unlock()
+	if first {
+		return // need two samples for a rate
+	}
+
+	hot := rps >= m.opts.HotRPS || (m.opts.HotLatency > 0 && lat >= m.opts.HotLatency)
+	cool := rps <= m.opts.CoolRPS && (m.opts.HotLatency <= 0 || lat < m.opts.HotLatency/2)
+	switch {
+	case hot && nrep < m.opts.MaxReplicasPerShard && free > 0:
+		if err := m.grow(ctx, idx); err != nil {
+			m.logf("shard: grow %s failed: %v", m.router.ShardName(idx), err)
+		} else {
+			m.logf("shard: %s hot (%.0f rps, %v mean latency): replica attached (%d total)",
+				m.router.ShardName(idx), rps, lat, nrep+1)
+		}
+	case cool && nrep > 0:
+		m.shrink(ctx, idx, fmt.Sprintf("cool (%.0f rps)", rps))
+	default:
+		m.resync(ctx, idx)
+	}
+}
+
+// grow promotes a free standby to a read replica of shard idx: register
+// the router's known types, copy the shard's current offers, then attach
+// it to the read rotation.
+func (m *Manager) grow(ctx context.Context, idx int) error {
+	m.mu.Lock()
+	if len(m.free) == 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("no free standbys")
+	}
+	dir := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.mu.Unlock()
+
+	rep := &replica{dir: dir, synced: make(map[string]string)}
+	if err := m.syncReplica(ctx, idx, rep); err != nil {
+		m.mu.Lock()
+		m.free = append(m.free, dir)
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Lock()
+	m.replicas[idx] = append(m.replicas[idx], rep)
+	m.mu.Unlock()
+	m.router.AttachReplica(idx, dir)
+	m.grows.Add(1)
+	return nil
+}
+
+// shrink detaches one replica from shard idx and returns its standby to
+// the free pool.
+func (m *Manager) shrink(ctx context.Context, idx int, why string) {
+	m.mu.Lock()
+	reps := m.replicas[idx]
+	if len(reps) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	rep := reps[len(reps)-1]
+	m.replicas[idx] = reps[:len(reps)-1]
+	m.mu.Unlock()
+
+	m.router.DetachReplica(idx, rep.dir)
+	for _, rid := range rep.synced {
+		_ = rep.dir.Withdraw(ctx, rid) // best effort: leases expire anyway
+	}
+	m.mu.Lock()
+	m.free = append(m.free, rep.dir)
+	m.mu.Unlock()
+	m.shrinks.Add(1)
+	m.logf("shard: %s %s: replica detached", m.router.ShardName(idx), why)
+}
+
+// shrinkAll detaches every replica of shard idx.
+func (m *Manager) shrinkAll(ctx context.Context, idx int, why string) {
+	for {
+		m.mu.Lock()
+		n := len(m.replicas[idx])
+		m.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		m.shrink(ctx, idx, why)
+	}
+}
+
+// resync refreshes every replica of shard idx against the primary's
+// current offer set.
+func (m *Manager) resync(ctx context.Context, idx int) {
+	m.mu.Lock()
+	reps := append([]*replica(nil), m.replicas[idx]...)
+	m.mu.Unlock()
+	for _, rep := range reps {
+		if err := m.syncReplica(ctx, idx, rep); err != nil {
+			m.logf("shard: resync %s replica failed: %v", m.router.ShardName(idx), err)
+		}
+	}
+}
+
+// syncReplica brings one replica up to date with shard idx's primary:
+// service types are (re-)registered, offers present on the primary are
+// exported or renewed on the replica, and offers gone from the primary are
+// withdrawn. Sync rides the ordinary export/renew path — the replica is
+// just another trader.
+func (m *Manager) syncReplica(ctx context.Context, idx int, rep *replica) error {
+	primary := m.router.shards[idx].primary
+	live := make(map[string]bool, len(rep.synced))
+	for _, st := range m.router.KnownTypes() {
+		if m.router.Owner(st.Name) != idx {
+			continue // replica only serves types routed to this shard
+		}
+		if err := rep.dir.AddType(ctx, st); err != nil {
+			return fmt.Errorf("addType %q: %w", st.Name, err)
+		}
+		// An empty constraint and preference match every live offer and
+		// resolve no dynamic properties, so the sync query costs one scan.
+		offers, err := primary.Query(ctx, st.Name, "", "", 0)
+		if err != nil {
+			return fmt.Errorf("list %q: %w", st.Name, err)
+		}
+		for _, qr := range offers {
+			live[qr.Offer.ID] = true
+			if rid, ok := rep.synced[qr.Offer.ID]; ok {
+				if err := rep.dir.Renew(ctx, rid); err == nil {
+					continue
+				}
+				delete(rep.synced, qr.Offer.ID) // replica lost it: re-export
+			}
+			rid, err := rep.dir.Export(ctx, st.Name, qr.Offer.Ref, syncProps(qr))
+			if err != nil {
+				return fmt.Errorf("export %q: %w", qr.Offer.ID, err)
+			}
+			rep.synced[qr.Offer.ID] = rid
+			m.synced.Add(1)
+		}
+	}
+	for pid, rid := range rep.synced {
+		if !live[pid] {
+			_ = rep.dir.Withdraw(ctx, rid)
+			delete(rep.synced, pid)
+		}
+	}
+	return nil
+}
+
+// syncProps reconstructs an offer's property map from a query result. A
+// local result carries the full map already; a remote one carries dynamic
+// sources in Offer.Props and static values in the snapshot (the sync query
+// resolves no dynamics, so every snapshot entry is static).
+func syncProps(qr trading.QueryResult) map[string]trading.PropValue {
+	props := make(map[string]trading.PropValue, len(qr.Offer.Props)+len(qr.Snapshot))
+	for name, pv := range qr.Offer.Props {
+		props[name] = pv
+	}
+	for name, v := range qr.Snapshot {
+		if _, ok := props[name]; !ok {
+			props[name] = trading.PropValue{Static: v}
+		}
+	}
+	return props
+}

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"sort"
+
+	"autoadapt/internal/orb"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// Servant exposes a Router over the ORB under the ordinary trader wire
+// interface, so remote agents and clients talk to a sharded deployment
+// through the same well-known object key as a single trader. On top of
+// the Directory operations (delegated to trading.Servant over the
+// router) it answers shardStatus, the operator introspection call behind
+// `adaptctl shards`:
+//
+//	shardStatus reply: table{
+//	    shards  = list of table{name, alive, replicas, owned=list(type)},
+//	    router  = table{queries, fanoutQueries, replicaReads, reassigns,
+//	              shardStrikes, handoffMerges, migratedRenews},
+//	    manager = table{ticks, grows, shrinks, syncedOffers, pollFails,
+//	              freeStandbys},   -- only when a Manager is attached
+//	}
+type Servant struct {
+	inner  *trading.Servant
+	router *Router
+	mgr    *Manager
+}
+
+// NewServant wraps a router (and, optionally, its manager) for
+// registration on an ORB server. mgr may be nil when no control loop
+// runs.
+func NewServant(r *Router, mgr *Manager) *Servant {
+	typeNames := func() []string {
+		sts := r.KnownTypes()
+		names := make([]string, len(sts))
+		for i, st := range sts {
+			names[i] = st.Name
+		}
+		sort.Strings(names)
+		return names
+	}
+	return &Servant{
+		inner:  trading.NewDirectoryServant(r, typeNames),
+		router: r,
+		mgr:    mgr,
+	}
+}
+
+var _ orb.Servant = (*Servant)(nil)
+
+// Invoke implements orb.Servant.
+func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
+	if op == "shardStatus" {
+		return []wire.Value{s.status()}, nil
+	}
+	return s.inner.Invoke(op, args)
+}
+
+func (s *Servant) status() wire.Value {
+	r := s.router
+
+	// Group type ownership by shard so the reply reads as a placement map.
+	owned := make(map[int][]string)
+	for _, st := range r.KnownTypes() {
+		if o := r.Owner(st.Name); o >= 0 {
+			owned[o] = append(owned[o], st.Name)
+		}
+	}
+
+	shards := wire.NewTable()
+	for i := 0; i < r.NumShards(); i++ {
+		sh := wire.NewTable()
+		sh.SetString("name", wire.String(r.ShardName(i)))
+		sh.SetString("alive", wire.Bool(r.Alive(i)))
+		sh.SetString("replicas", wire.Int(r.Replicas(i)))
+		types := wire.NewTable()
+		sort.Strings(owned[i])
+		for _, t := range owned[i] {
+			types.Append(wire.String(t))
+		}
+		sh.SetString("owned", wire.TableVal(types))
+		shards.Append(wire.TableVal(sh))
+	}
+
+	rst := r.Stats()
+	router := wire.NewTable()
+	router.SetString("queries", wire.Int(int(rst.Queries)))
+	router.SetString("fanoutQueries", wire.Int(int(rst.FanoutQueries)))
+	router.SetString("replicaReads", wire.Int(int(rst.ReplicaReads)))
+	router.SetString("reassigns", wire.Int(int(rst.Reassigns)))
+	router.SetString("shardStrikes", wire.Int(int(rst.ShardStrikes)))
+	router.SetString("handoffMerges", wire.Int(int(rst.HandoffMerges)))
+	router.SetString("migratedRenews", wire.Int(int(rst.MigratedRenews)))
+
+	out := wire.NewTable()
+	out.SetString("shards", wire.TableVal(shards))
+	out.SetString("router", wire.TableVal(router))
+
+	if s.mgr != nil {
+		mst := s.mgr.Stats()
+		mgr := wire.NewTable()
+		mgr.SetString("ticks", wire.Int(int(mst.Ticks)))
+		mgr.SetString("grows", wire.Int(int(mst.Grows)))
+		mgr.SetString("shrinks", wire.Int(int(mst.Shrinks)))
+		mgr.SetString("syncedOffers", wire.Int(int(mst.SyncedOffers)))
+		mgr.SetString("pollFails", wire.Int(int(mst.PollFails)))
+		mgr.SetString("freeStandbys", wire.Int(s.mgr.FreeStandbys()))
+		out.SetString("manager", wire.TableVal(mgr))
+	}
+	return wire.TableVal(out)
+}

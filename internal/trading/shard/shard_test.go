@@ -1,0 +1,561 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autoadapt/internal/clock"
+	"autoadapt/internal/orb"
+	"autoadapt/internal/trading"
+	"autoadapt/internal/wire"
+)
+
+// countOffers reports how many live offers of st trader tr holds, via a
+// plain query (unknown type counts as zero — AddType may not have reached
+// this trader).
+func countOffers(t *testing.T, tr *trading.Trader, st string) int {
+	t.Helper()
+	rs, err := trading.Local{T: tr}.Query(context.Background(), st, "", "", 0)
+	if err != nil {
+		if errors.Is(err, trading.ErrUnknownServiceType) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	return len(rs)
+}
+
+func svcRef(i int) wire.ObjRef {
+	return wire.ObjRef{Endpoint: "inproc|svc", Key: fmt.Sprintf("svc-%d", i)}
+}
+
+// flakyDir wraps a Directory with a kill switch: while down, every call
+// fails with a transport fault (orb.ErrClosed), like a severed trader.
+type flakyDir struct {
+	inner trading.Directory
+	mu    sync.Mutex
+	down  bool
+}
+
+func (f *flakyDir) setDown(d bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down = d
+}
+
+func (f *flakyDir) err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return fmt.Errorf("flaky: %w", orb.ErrClosed)
+	}
+	return nil
+}
+
+func (f *flakyDir) Query(ctx context.Context, st, c, p string, max int) ([]trading.QueryResult, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	return f.inner.Query(ctx, st, c, p, max)
+}
+
+func (f *flakyDir) Export(ctx context.Context, st string, ref wire.ObjRef, props map[string]trading.PropValue) (string, error) {
+	if err := f.err(); err != nil {
+		return "", err
+	}
+	return f.inner.Export(ctx, st, ref, props)
+}
+
+func (f *flakyDir) Withdraw(ctx context.Context, id string) error {
+	if err := f.err(); err != nil {
+		return err
+	}
+	return f.inner.Withdraw(ctx, id)
+}
+
+func (f *flakyDir) Modify(ctx context.Context, id string, props map[string]trading.PropValue) error {
+	if err := f.err(); err != nil {
+		return err
+	}
+	return f.inner.Modify(ctx, id, props)
+}
+
+func (f *flakyDir) Renew(ctx context.Context, id string) error {
+	if err := f.err(); err != nil {
+		return err
+	}
+	return f.inner.Renew(ctx, id)
+}
+
+func (f *flakyDir) AddType(ctx context.Context, st trading.ServiceType) error {
+	if err := f.err(); err != nil {
+		return err
+	}
+	return f.inner.AddType(ctx, st)
+}
+
+func (f *flakyDir) Stats(ctx context.Context) (trading.TraderStats, error) {
+	if err := f.err(); err != nil {
+		return trading.TraderStats{}, err
+	}
+	return f.inner.(trading.StatsProvider).Stats(ctx)
+}
+
+// newCluster builds n in-process shards behind a router.
+func newCluster(t *testing.T, n int, opts Options) (*Router, []*trading.Trader, []*flakyDir) {
+	t.Helper()
+	traders := make([]*trading.Trader, n)
+	flaky := make([]*flakyDir, n)
+	for i := range traders {
+		traders[i] = trading.NewTrader(nil)
+		flaky[i] = &flakyDir{inner: trading.Local{T: traders[i]}}
+		opts.Shards = append(opts.Shards, flaky[i])
+	}
+	r, err := NewRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, traders, flaky
+}
+
+func TestOwnerStableUnderMembership(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	allAlive := func(int) bool { return true }
+	types := make([]string, 200)
+	for i := range types {
+		types[i] = fmt.Sprintf("Service%d", i)
+	}
+	owners := make([]int, len(types))
+	counts := make([]int, len(names))
+	for i, st := range types {
+		owners[i] = owner(st, names, allAlive)
+		if owners[i] < 0 {
+			t.Fatalf("no owner for %q", st)
+		}
+		counts[owners[i]]++
+	}
+	// The hash should spread types across all shards, not pile onto one.
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %s owns no types out of %d", names[i], len(types))
+		}
+	}
+	// Killing shard 2 must move ONLY the types shard 2 owned.
+	dead2 := func(i int) bool { return i != 2 }
+	for i, st := range types {
+		after := owner(st, names, dead2)
+		if owners[i] != 2 && after != owners[i] {
+			t.Fatalf("type %q moved %d -> %d though its owner stayed alive", st, owners[i], after)
+		}
+		if owners[i] == 2 && after == 2 {
+			t.Fatalf("type %q still owned by dead shard", st)
+		}
+	}
+	// Revival restores the original assignment exactly.
+	for i, st := range types {
+		if got := owner(st, names, allAlive); got != owners[i] {
+			t.Fatalf("type %q did not return to %d after revival (got %d)", st, owners[i], got)
+		}
+	}
+	if owner("anything", names, func(int) bool { return false }) != -1 {
+		t.Fatal("owner over dead cluster != -1")
+	}
+}
+
+func TestRouterRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	r, traders, _ := newCluster(t, 4, Options{})
+	types := []string{"Alpha", "Beta", "Gamma", "Delta", "Epsilon"}
+	for _, st := range types {
+		if err := r.AddType(ctx, trading.ServiceType{Name: st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make(map[string]string)
+	for i, st := range types {
+		id, err := r.Export(ctx, st, svcRef(i), map[string]trading.PropValue{
+			"Rank": {Static: wire.Int(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(id, "s") || !strings.Contains(id, "/") {
+			t.Fatalf("offer id %q is not shard-qualified", id)
+		}
+		ids[st] = id
+	}
+	// Each offer must live on exactly its owner, and nowhere else.
+	for _, st := range types {
+		own := r.Owner(st)
+		total := 0
+		for i, tr := range traders {
+			n := countOffers(t, tr, st)
+			total += n
+			if n > 0 && i != own {
+				t.Fatalf("type %q found on shard %d, owner is %d", st, i, own)
+			}
+		}
+		if total != 1 {
+			t.Fatalf("type %q has %d offers across the cluster, want 1", st, total)
+		}
+	}
+	for _, st := range types {
+		rs, err := r.Query(ctx, st, "", "", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 1 || rs[0].Offer.ServiceType != st {
+			t.Fatalf("query %q: got %d results", st, len(rs))
+		}
+		if err := r.Renew(ctx, ids[st]); err != nil {
+			t.Fatalf("renew %q: %v", ids[st], err)
+		}
+		if err := r.Modify(ctx, ids[st], map[string]trading.PropValue{"Rank": {Static: wire.Int(9)}}); err != nil {
+			t.Fatalf("modify: %v", err)
+		}
+	}
+	if err := r.Withdraw(ctx, ids["Alpha"]); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ := r.Query(ctx, "Alpha", "", "", 0); len(rs) != 0 {
+		t.Fatalf("Alpha still visible after withdraw: %d results", len(rs))
+	}
+}
+
+func TestQueryTypesFanoutMerge(t *testing.T) {
+	ctx := context.Background()
+	r, _, _ := newCluster(t, 3, Options{QueryParallel: 2})
+	types := []string{"A", "B", "C", "D", "E", "F"}
+	rank := 0
+	for _, st := range types {
+		if err := r.AddType(ctx, trading.ServiceType{Name: st}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			if _, err := r.Export(ctx, st, svcRef(rank), map[string]trading.PropValue{
+				"Rank": {Static: wire.Int(rank)},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			rank++
+		}
+	}
+	rs, err := r.QueryTypes(ctx, types, "", "min Rank", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != rank {
+		t.Fatalf("fan-out returned %d results, want %d", len(rs), rank)
+	}
+	for i := 1; i < len(rs); i++ {
+		a := rs[i-1].Snapshot["Rank"].Num()
+		b := rs[i].Snapshot["Rank"].Num()
+		if a > b {
+			t.Fatalf("merged results out of preference order at %d: %v > %v", i, a, b)
+		}
+	}
+	// Unknown types are skipped, not fatal.
+	rs, err = r.QueryTypes(ctx, []string{"A", "NoSuchType"}, "", "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("fan-out with unknown type: %d results, want 2", len(rs))
+	}
+	if st := r.Stats(); st.FanoutQueries != 2 {
+		t.Fatalf("FanoutQueries = %d, want 2", st.FanoutQueries)
+	}
+}
+
+func TestShardDeathReassignsAndMigrates(t *testing.T) {
+	ctx := context.Background()
+	sim := clock.NewSim(time.Unix(0, 0))
+	r, traders, flaky := newCluster(t, 3, Options{Clock: sim, HandoffGrace: 10 * time.Second})
+	// Lease offers like a real deployment: copies stranded by churn expire
+	// instead of lingering forever.
+	for _, tr := range traders {
+		tr.SetClock(sim)
+		tr.SetLeaseTTL(8 * time.Second)
+	}
+	if err := r.AddType(ctx, trading.ServiceType{Name: "Victim"}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Export(ctx, "Victim", svcRef(1), map[string]trading.PropValue{"Rank": {Static: wire.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := r.Owner("Victim")
+
+	// Sever the owner. The next query strikes it out and reroutes.
+	flaky[own].setDown(true)
+	rs, err := r.Query(ctx, "Victim", "", "", 0)
+	if err != nil {
+		t.Fatalf("query after owner death: %v", err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("rerouted query returned %d results before re-export, want 0", len(rs))
+	}
+	own2 := r.Owner("Victim")
+	if own2 == own || own2 < 0 {
+		t.Fatalf("ownership did not move: %d -> %d", own, own2)
+	}
+
+	// The exporter's heartbeat renews; the router must demand a re-export.
+	err = r.Renew(ctx, id)
+	if !errors.Is(err, trading.ErrUnknownOffer) {
+		t.Fatalf("renew after owner death: err = %v, want ErrUnknownOffer", err)
+	}
+	id2, err := r.Export(ctx, "Victim", svcRef(1), map[string]trading.PropValue{"Rank": {Static: wire.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = r.Query(ctx, "Victim", "", "", 0)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("query after re-export: %d results, err %v", len(rs), err)
+	}
+
+	// Revive the old owner; a renew on the new owner keeps working, and the
+	// rejoining shard takes ownership back with a grace window: the offer is
+	// still visible from the old location while it migrates.
+	flaky[own].setDown(false)
+	r.noteOK(own)
+	if got := r.Owner("Victim"); got != own {
+		t.Fatalf("revived shard did not take its type back: owner = %d, want %d", got, own)
+	}
+	rs, err = r.Query(ctx, "Victim", "", "", 0)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("query during handoff grace: %d results, err %v", len(rs), err)
+	}
+	// The heartbeat now migrates the offer home.
+	if err := r.Renew(ctx, id2); !errors.Is(err, trading.ErrUnknownOffer) {
+		t.Fatalf("renew of stranded offer: err = %v, want ErrUnknownOffer", err)
+	}
+	if countOffers(t, traders[own2], "Victim") != 0 {
+		t.Fatal("stranded copy not withdrawn during migration")
+	}
+	id3, err := r.Export(ctx, "Victim", svcRef(1), map[string]trading.PropValue{"Rank": {Static: wire.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, _, _ := r.splitOfferID(id3); idx != own {
+		t.Fatalf("re-export landed on shard %d, want rightful owner %d", idx, own)
+	}
+	// After the grace window the old interim owner is no longer consulted,
+	// and the stale original copy (never renewed since the first death) has
+	// expired with its lease; only the freshly renewed re-export survives.
+	sim.Advance(11 * time.Second)
+	if err := r.Renew(ctx, id3); err != nil {
+		t.Fatalf("renew of homed offer: %v", err)
+	}
+	rs, err = r.Query(ctx, "Victim", "", "", 0)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("query after grace expiry: %d results, err %v", len(rs), err)
+	}
+	st := r.Stats()
+	if st.Reassigns < 2 || st.MigratedRenews != 1 || st.HandoffMerges == 0 {
+		t.Fatalf("stats = %+v, want >=2 reassigns, 1 migrated renew, >0 handoff merges", st)
+	}
+}
+
+func TestManagerGrowsAndShrinksReplicas(t *testing.T) {
+	ctx := context.Background()
+	sim := clock.NewSim(time.Unix(0, 0))
+	r, _, _ := newCluster(t, 2, Options{})
+	standby := trading.NewTrader(nil)
+	mgr, err := NewManager(ManagerOptions{
+		Router:   r,
+		Standbys: []trading.Directory{trading.Local{T: standby}},
+		HotRPS:   50,
+		CoolRPS:  10,
+		Clock:    sim, // RPS is computed over simulated 2s intervals
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddType(ctx, trading.ServiceType{Name: "Hot"}); err != nil {
+		t.Fatal(err)
+	}
+	hotShard := r.Owner("Hot")
+	if _, err := r.Export(ctx, "Hot", svcRef(0), map[string]trading.PropValue{
+		"Rank": {Static: wire.Int(7)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr.Tick(ctx) // first sample: baseline only
+	for i := 0; i < 200; i++ {
+		if _, err := r.Query(ctx, "Hot", "", "", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Advance(2 * time.Second)
+	mgr.Tick(ctx) // 200 queries / 2s = 100 rps: hot
+	if got := r.Replicas(hotShard); got != 1 {
+		t.Fatalf("replicas after hot tick = %d, want 1", got)
+	}
+	if countOffers(t, standby, "Hot") != 1 {
+		t.Fatalf("replica holds %d Hot offers, want 1", countOffers(t, standby, "Hot"))
+	}
+	// Reads now rotate onto the replica.
+	for i := 0; i < 4; i++ {
+		rs, err := r.Query(ctx, "Hot", "", "", 0)
+		if err != nil || len(rs) != 1 {
+			t.Fatalf("replicated query %d: %d results, err %v", i, len(rs), err)
+		}
+		if rs[0].Snapshot["Rank"].Num() != 7 {
+			t.Fatalf("replica served wrong snapshot: %v", rs[0].Snapshot)
+		}
+	}
+	if st := r.Stats(); st.ReplicaReads == 0 {
+		t.Fatal("no query was served by the replica")
+	}
+
+	sim.Advance(2 * time.Second)
+	mgr.Tick(ctx) // a handful of queries / 2s: cool
+	if got := r.Replicas(hotShard); got != 0 {
+		t.Fatalf("replicas after cool tick = %d, want 0", got)
+	}
+	if mgr.FreeStandbys() != 1 {
+		t.Fatalf("standby not returned to pool: %d free", mgr.FreeStandbys())
+	}
+	if countOffers(t, standby, "Hot") != 0 {
+		t.Fatalf("detached replica still holds %d offers", countOffers(t, standby, "Hot"))
+	}
+	ms := mgr.Stats()
+	if ms.Grows != 1 || ms.Shrinks != 1 || ms.SyncedOffers != 1 {
+		t.Fatalf("manager stats = %+v, want 1 grow, 1 shrink, 1 synced offer", ms)
+	}
+}
+
+func TestManagerResyncTracksOfferChurn(t *testing.T) {
+	ctx := context.Background()
+	r, _, _ := newCluster(t, 1, Options{})
+	standby := trading.NewTrader(nil)
+	mgr, err := NewManager(ManagerOptions{
+		Router:   r,
+		Standbys: []trading.Directory{trading.Local{T: standby}},
+		HotRPS:   10,
+		CoolRPS:  0.001, // never cools: resync path stays exercised
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddType(ctx, trading.ServiceType{Name: "S"}); err != nil {
+		t.Fatal(err)
+	}
+	idA, err := r.Export(ctx, "S", svcRef(0), map[string]trading.PropValue{"Rank": {Static: wire.Int(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Tick(ctx)
+	for i := 0; i < 100; i++ {
+		if _, err := r.Query(ctx, "S", "", "", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.Tick(ctx)
+	if r.Replicas(0) != 1 {
+		t.Fatal("replica not attached")
+	}
+	// Churn the offer set: add one, remove the original.
+	if _, err := r.Export(ctx, "S", svcRef(1), map[string]trading.PropValue{"Rank": {Static: wire.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Withdraw(ctx, idA); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := r.Query(ctx, "S", "", "", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.Tick(ctx)
+	if got := countOffers(t, standby, "S"); got != 1 {
+		t.Fatalf("replica offer count after churn resync = %d, want 1", got)
+	}
+	rs, err := trading.Local{T: standby}.Query(ctx, "S", "", "", 0)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("replica query: %d results, err %v", len(rs), err)
+	}
+	if rs[0].Snapshot["Rank"].Num() != 1 {
+		t.Fatal("replica kept the withdrawn offer instead of the new one")
+	}
+}
+
+func TestManagerDropsReplicasOfDeadShard(t *testing.T) {
+	ctx := context.Background()
+	r, _, flaky := newCluster(t, 2, Options{})
+	standby := trading.NewTrader(nil)
+	mgr, err := NewManager(ManagerOptions{
+		Router:   r,
+		Standbys: []trading.Directory{trading.Local{T: standby}},
+		HotRPS:   10,
+		CoolRPS:  0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddType(ctx, trading.ServiceType{Name: "S"}); err != nil {
+		t.Fatal(err)
+	}
+	own := r.Owner("S")
+	mgr.Tick(ctx)
+	for i := 0; i < 100; i++ {
+		if _, err := r.Query(ctx, "S", "", "", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.Tick(ctx)
+	if r.Replicas(own) != 1 {
+		t.Fatal("replica not attached")
+	}
+	flaky[own].setDown(true)
+	mgr.Tick(ctx) // heartbeat poll fails: shard dead, replicas dropped
+	if r.Alive(own) {
+		t.Fatal("dead shard still alive after failed heartbeat poll")
+	}
+	if r.Replicas(own) != 0 {
+		t.Fatalf("dead shard still has %d replicas", r.Replicas(own))
+	}
+	if mgr.FreeStandbys() != 1 {
+		t.Fatal("standby not reclaimed from dead shard")
+	}
+	flaky[own].setDown(false)
+	mgr.Tick(ctx) // heartbeat poll succeeds: shard rejoins
+	if !r.Alive(own) {
+		t.Fatal("shard did not rejoin after heartbeat recovery")
+	}
+}
+
+func TestTransportFaultClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("%w: %q", trading.ErrUnknownOffer, "x"), false},
+		{fmt.Errorf("%w: %q", trading.ErrUnknownServiceType, "x"), false},
+		{&orb.RemoteError{Code: "APP_ERROR", Msg: "boom"}, false},
+		{errors.New("trading: parse error in constraint"), false},
+		{orb.ErrClosed, true},
+		{orb.ErrCircuitOpen, true},
+		{fmt.Errorf("read: %w", orb.ErrInjectedFault), true},
+		// Mid-call connection death surfaces raw pipe/EOF errors.
+		{io.ErrClosedPipe, true},
+		{fmt.Errorf("orb: write failed: %w", io.ErrClosedPipe), true},
+		{io.ErrUnexpectedEOF, true},
+	}
+	for _, c := range cases {
+		if got := transportFault(c.err); got != c.want {
+			t.Errorf("transportFault(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package trading
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"autoadapt/internal/wire"
+)
+
+var errStatsReply = errors.New("trading: stats reply is not a table")
+
+// Per-trader load instrumentation. The counters are cumulative and lock-free
+// (the query hot path touches two atomics); consumers that want rates — the
+// shard manager's RPS and mean-latency signals — poll Stats periodically and
+// difference successive snapshots.
+
+// TraderStats is a snapshot of one trader's activity counters.
+type TraderStats struct {
+	// Queries is the number of Query calls served (successful or not).
+	Queries int64
+	// Exports counts successful offer exports.
+	Exports int64
+	// QueryNanos is the total wall-clock time spent inside Query, in
+	// nanoseconds. QueryNanos/Queries is the mean query latency.
+	QueryNanos int64
+	// Offers is the current live offer count (lease-aware).
+	Offers int64
+}
+
+// RPS computes the request rate between two snapshots taken dt apart.
+func (s TraderStats) RPS(prev TraderStats, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return float64(s.Queries-prev.Queries) / dt.Seconds()
+}
+
+// MeanLatency computes the mean query latency between two snapshots.
+func (s TraderStats) MeanLatency(prev TraderStats) time.Duration {
+	n := s.Queries - prev.Queries
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration((s.QueryNanos - prev.QueryNanos) / n)
+}
+
+// Stats returns a snapshot of the trader's activity counters.
+func (t *Trader) Stats() TraderStats {
+	return TraderStats{
+		Queries:    t.statQueries.Load(),
+		Exports:    t.statExports.Load(),
+		QueryNanos: t.statQueryNanos.Load(),
+		Offers:     int64(t.OfferCount()),
+	}
+}
+
+// statsToWire encodes a TraderStats snapshot for the servant's stats op.
+func statsToWire(s TraderStats) wire.Value {
+	tb := wire.NewTable()
+	tb.SetString("queries", wire.Int(int(s.Queries)))
+	tb.SetString("exports", wire.Int(int(s.Exports)))
+	tb.SetString("querynanos", wire.Int(int(s.QueryNanos)))
+	tb.SetString("offers", wire.Int(int(s.Offers)))
+	return wire.TableVal(tb)
+}
+
+// statsFromWire decodes the servant's stats reply.
+func statsFromWire(v wire.Value) (TraderStats, error) {
+	tb, ok := v.AsTable()
+	if !ok {
+		return TraderStats{}, errStatsReply
+	}
+	return TraderStats{
+		Queries:    int64(tb.GetString("queries").Num()),
+		Exports:    int64(tb.GetString("exports").Num()),
+		QueryNanos: int64(tb.GetString("querynanos").Num()),
+		Offers:     int64(tb.GetString("offers").Num()),
+	}, nil
+}
+
+// Stats fetches the remote trader's activity counters (the stats op).
+func (l *Lookup) Stats(ctx context.Context) (TraderStats, error) {
+	v, err := l.proxy.Call1(ctx, "stats")
+	if err != nil {
+		return TraderStats{}, err
+	}
+	return statsFromWire(v)
+}

@@ -105,6 +105,12 @@ type Trader struct {
 	clk           clock.Clock
 	leaseTTL      time.Duration
 	quarThreshold int
+
+	// Load instrumentation (see stats.go). Atomics, not mu-guarded: the
+	// query hot path must not serialize on bookkeeping.
+	statQueries    atomic.Int64
+	statExports    atomic.Int64
+	statQueryNanos atomic.Int64
 }
 
 // defaultResolveParallel is the per-query fan-out bound for dynamic
@@ -203,6 +209,7 @@ func (t *Trader) Export(serviceType string, ref wire.ObjRef, props map[string]Pr
 		}
 	}
 	t.nextID++
+	t.statExports.Add(1)
 	id := "offer-" + strconv.Itoa(t.nextID)
 	copied := make(map[string]PropValue, len(props))
 	for k, v := range props {
@@ -292,6 +299,9 @@ func (t *Trader) OfferCount() int {
 // Memoization is per-query only, so repeated queries still observe fresh
 // monitor values.
 func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference string, maxResults int) ([]QueryResult, error) {
+	began := time.Now()
+	t.statQueries.Add(1)
+	defer func() { t.statQueryNanos.Add(int64(time.Since(began))) }()
 	cons, err := cachedConstraint(constraint)
 	if err != nil {
 		return nil, err
