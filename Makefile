@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet build test race bench bench-smoke chaos
 
 check: vet build race
 
@@ -29,3 +29,16 @@ bench:
 # E14 suite.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=1x . ./internal/script ./internal/orb ./internal/trading/...
+
+# Hostile-input and overload robustness suites (PR 8): admission control
+# under request storms, budget sandboxing of shipped scripts (including
+# the hostile differential corpus), script/aspect/strategy quarantine,
+# the wire fuzz properties plus a short run of the native fuzzer, and
+# the E15 governed-vs-ungoverned overload experiment.
+chaos:
+	$(GO) test -count=1 -run 'Admission|Overloaded|LegacySpill' ./internal/orb
+	$(GO) test -count=1 -run 'Budget|CallCtx|MemBudget|Differential|DeepRecursion' ./internal/script
+	$(GO) test -count=1 -run 'Quarantine|OrdinaryScriptErrors' ./internal/monitor ./internal/core
+	$(GO) test -count=1 -run 'Property|Decode|Frame|Truncat|Overloaded' ./internal/wire
+	$(GO) test -count=1 -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 10s ./internal/wire
+	$(GO) test -count=1 -run 'Overload|HostileQuarantine' ./internal/experiment

@@ -103,6 +103,14 @@ type TraderOptions struct {
 	// ReapInterval is how often expired offers are garbage-collected when
 	// LeaseTTL is set. Default LeaseTTL/3.
 	ReapInterval time.Duration
+	// MaxConcurrent bounds the trader server's dispatch pool
+	// (orb.ServerOptions.MaxConcurrent): 0 uses the ORB default, negative
+	// restores the unbounded legacy spill.
+	MaxConcurrent int
+	// ResolveTimeout caps the dynamic-property resolution phase of each
+	// query so a wedged monitor cannot stall the trader (0 = only the
+	// caller's deadline applies).
+	ResolveTimeout time.Duration
 	// Logger for connection diagnostics.
 	Logger *log.Logger
 }
@@ -125,6 +133,7 @@ func StartTrader(opts TraderOptions) (*TraderHandle, error) {
 	}
 	client := orb.NewClient(opts.Network)
 	tr := trading.NewTrader(trading.ClientResolver{Client: client})
+	tr.SetResolveTimeout(opts.ResolveTimeout)
 	for _, st := range opts.Types {
 		tr.AddType(st)
 	}
@@ -142,6 +151,7 @@ func StartTrader(opts TraderOptions) (*TraderHandle, error) {
 	}
 	srv, err := orb.NewServer(orb.ServerOptions{
 		Network: opts.Network, Address: opts.Address, Repo: repo, Logger: opts.Logger,
+		MaxConcurrent: opts.MaxConcurrent,
 	})
 	if err != nil {
 		_ = client.Close()
@@ -202,6 +212,10 @@ type ShardedTraderOptions struct {
 	// HotRPS is the per-shard query rate above which the manager attaches
 	// a read replica (see shard.ManagerOptions). Default 100.
 	HotRPS float64
+	// MaxConcurrent and ResolveTimeout: as in TraderOptions, applied to
+	// the ensemble's server and to every shard respectively.
+	MaxConcurrent  int
+	ResolveTimeout time.Duration
 	// Logger for connection and rebalancing diagnostics.
 	Logger *log.Logger
 }
@@ -243,6 +257,7 @@ func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error)
 
 	newShard := func() *trading.Trader {
 		tr := trading.NewTrader(trading.ClientResolver{Client: client})
+		tr.SetResolveTimeout(opts.ResolveTimeout)
 		if opts.LeaseTTL > 0 {
 			tr.SetLeaseTTL(opts.LeaseTTL)
 			interval := opts.ReapInterval
@@ -307,6 +322,7 @@ func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error)
 	}
 	srv, err := orb.NewServer(orb.ServerOptions{
 		Network: opts.Network, Address: opts.Address, Repo: repo, Logger: opts.Logger,
+		MaxConcurrent: opts.MaxConcurrent,
 	})
 	if err != nil {
 		return fail(err)

@@ -49,6 +49,9 @@ func run() error {
 		period    = flag.Duration("period", time.Minute, "monitor update period (paper: 60s)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "trader's offer lease TTL; enables the renewal heartbeat (0 disables)")
 		config    = flag.String("config", "", "AdaptScript agent configuration file")
+		maxConc   = flag.Int("max-concurrent", 0, "dispatch pool size: max concurrently served requests (0 = ORB default, negative = unbounded)")
+		clockBud  = flag.Duration("script-clock-budget", 0, "wall-clock budget per script evaluation (config, aspects, predicates; 0 = unbounded)")
+		memBud    = flag.Int64("script-mem-budget", 0, "accounted-allocation budget in bytes per script evaluation (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -93,17 +96,20 @@ func run() error {
 
 	ctx := context.Background()
 	ag, err := autoadapt.StartAgent(ctx, autoadapt.AgentOptions{
-		Network:       network,
-		Address:       *listen,
-		Lookup:        lookup,
-		ServiceType:   *svcType,
-		Servant:       servant,
-		LoadSource:    source,
-		MonitorPeriod: *period,
-		LeaseTTL:      *leaseTTL,
-		ConfigScript:  configSrc,
-		StaticProps:   map[string]wire.Value{"Host": wire.String(hostName)},
-		Logger:        log.New(os.Stderr, "agentd ", log.LstdFlags),
+		Network:          network,
+		Address:          *listen,
+		Lookup:           lookup,
+		ServiceType:      *svcType,
+		Servant:          servant,
+		LoadSource:       source,
+		MonitorPeriod:    *period,
+		LeaseTTL:         *leaseTTL,
+		ConfigScript:     configSrc,
+		MaxConcurrent:    *maxConc,
+		ScriptWallBudget: *clockBud,
+		ScriptMemBudget:  *memBud,
+		StaticProps:      map[string]wire.Value{"Host": wire.String(hostName)},
+		Logger:           log.New(os.Stderr, "agentd ", log.LstdFlags),
 	})
 	if err != nil {
 		return err

@@ -52,6 +52,8 @@ func run() error {
 		shards   = flag.Int("shards", 1, "partition the offer space across N trader shards")
 		standbys = flag.Int("standbys", 0, "spare traders available as dynamic read replicas (sharded mode)")
 		hotRPS   = flag.Float64("hot-rps", 100, "per-shard query RPS above which a read replica is attached")
+		maxConc  = flag.Int("max-concurrent", 0, "dispatch pool size: max concurrently served requests (0 = ORB default, negative = unbounded)")
+		resolveT = flag.Duration("resolve-timeout", 0, "cap on each query's dynamic-property resolution phase (0 = caller deadline only)")
 		types    typeList
 	)
 	flag.Var(&types, "type", "service type to register (repeatable)")
@@ -75,16 +77,18 @@ func run() error {
 	)
 	if *shards > 1 {
 		h, err := autoadapt.StartShardedTrader(autoadapt.ShardedTraderOptions{
-			Network:      autoadapt.TCP(),
-			Address:      *listen,
-			Shards:       *shards,
-			Standbys:     *standbys,
-			Types:        sts,
-			CheckIDL:     *check,
-			LeaseTTL:     *leaseTTL,
-			ReapInterval: *reap,
-			HotRPS:       *hotRPS,
-			Logger:       logger,
+			Network:        autoadapt.TCP(),
+			Address:        *listen,
+			Shards:         *shards,
+			Standbys:       *standbys,
+			Types:          sts,
+			CheckIDL:       *check,
+			LeaseTTL:       *leaseTTL,
+			ReapInterval:   *reap,
+			HotRPS:         *hotRPS,
+			MaxConcurrent:  *maxConc,
+			ResolveTimeout: *resolveT,
+			Logger:         logger,
 		})
 		if err != nil {
 			return err
@@ -92,13 +96,15 @@ func run() error {
 		endpoint, ref, closer = h.Endpoint(), h.Ref, h
 	} else {
 		h, err := autoadapt.StartTrader(autoadapt.TraderOptions{
-			Network:      autoadapt.TCP(),
-			Address:      *listen,
-			Types:        sts,
-			CheckIDL:     *check,
-			LeaseTTL:     *leaseTTL,
-			ReapInterval: *reap,
-			Logger:       logger,
+			Network:        autoadapt.TCP(),
+			Address:        *listen,
+			Types:          sts,
+			CheckIDL:       *check,
+			LeaseTTL:       *leaseTTL,
+			ReapInterval:   *reap,
+			MaxConcurrent:  *maxConc,
+			ResolveTimeout: *resolveT,
+			Logger:         logger,
 		})
 		if err != nil {
 			return err

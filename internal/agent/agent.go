@@ -79,6 +79,16 @@ type Options struct {
 	// roughly a third of the TTL (jittered), and re-exports the offer
 	// from scratch if the trader forgot it. 0 disables the heartbeat.
 	LeaseTTL time.Duration
+	// MaxConcurrent bounds the agent server's dispatch pool (see
+	// orb.ServerOptions.MaxConcurrent): 0 uses the ORB default, negative
+	// restores the unbounded legacy spill.
+	MaxConcurrent int
+	// ScriptWallBudget and ScriptMemBudget sandbox every piece of shipped
+	// code the agent runs: the start-up config script and all monitor
+	// aspect/predicate evaluations. Zero leaves the corresponding bound
+	// off.
+	ScriptWallBudget time.Duration
+	ScriptMemBudget  int64
 }
 
 // Agent is a running service agent.
@@ -135,6 +145,7 @@ func Start(ctx context.Context, opts Options) (*Agent, error) {
 
 	srv, err := orb.NewServer(orb.ServerOptions{
 		Network: opts.Network, Address: opts.Address, Logger: opts.Logger,
+		MaxConcurrent: opts.MaxConcurrent,
 	})
 	if err != nil {
 		return nil, err
@@ -154,7 +165,8 @@ func Start(ctx context.Context, opts Options) (*Agent, error) {
 	mon, err := monitor.NewLoadAverage(opts.LoadSource, opts.Clock, opts.MonitorPeriod,
 		monitor.ORBNotifier{Client: notify},
 		monitor.WithSelfRef(srv.RefFor(MonitorKey)),
-		monitor.WithLogger(opts.Logger))
+		monitor.WithLogger(opts.Logger),
+		monitor.WithScriptBudgets(opts.ScriptWallBudget, opts.ScriptMemBudget))
 	if err != nil {
 		return nil, fmt.Errorf("agent: create monitor: %w", err)
 	}
@@ -243,7 +255,11 @@ var configScriptCache = script.NewChunkCache(64)
 //	                             the monitor through the named aspect
 //	log(message)               — agent diagnostics
 func (a *Agent) RunConfigScript(src string) error {
-	in := script.New(script.Options{Cache: configScriptCache})
+	in := script.New(script.Options{
+		Cache:      configScriptCache,
+		WallBudget: a.opts.ScriptWallBudget,
+		MemBudget:  a.opts.ScriptMemBudget,
+	})
 	in.SetGlobal("defineaspect", script.Func("defineaspect", func(_ *script.Interp, args []script.Value) ([]script.Value, error) {
 		if len(args) < 2 {
 			return nil, errors.New("defineaspect(name, code)")

@@ -42,14 +42,62 @@ func (sp *SmartProxy) SetScriptStrategy(event, src string) error {
 		return fmt.Errorf("core: compile strategy %q: %w", event, err)
 	}
 
+	sp.installScriptStrategy(event, fn)
+	return nil
+}
+
+// installScriptStrategy wraps a compiled strategy closure as a Strategy. The
+// activation runs under the caller's context (cancellation propagates into
+// the interpreter) and under the proxy's script budgets; consecutive
+// budget-exhaustion aborts quarantine the strategy (noteStrategyOutcome).
+func (sp *SmartProxy) installScriptStrategy(event string, fn script.Value) {
 	sp.SetStrategy(event, func(ctx context.Context, p *SmartProxy) error {
 		self := p.buildScriptSelf(ctx)
 		p.scriptMu.Lock()
-		_, err := p.in.Call(fn, []script.Value{self})
+		_, err := p.in.CallCtx(ctx, fn, []script.Value{self})
 		p.scriptMu.Unlock()
+		p.noteStrategyOutcome(event, err)
 		return err
 	})
-	return nil
+}
+
+// maxStrategyFailures resolves Options.MaxStrategyFailures: 0 means
+// DefaultMaxStrategyFailures, negative disables quarantine.
+func (sp *SmartProxy) maxStrategyFailures() int {
+	switch {
+	case sp.opts.MaxStrategyFailures > 0:
+		return sp.opts.MaxStrategyFailures
+	case sp.opts.MaxStrategyFailures < 0:
+		return 0
+	default:
+		return DefaultMaxStrategyFailures
+	}
+}
+
+// noteStrategyOutcome tracks consecutive budget-exhaustion aborts of a
+// script strategy and uninstalls it at the quarantine threshold. Only
+// budget errors count: an ordinary script error (nil offer, remote failure)
+// is the strategy working as written, not hostile code.
+func (sp *SmartProxy) noteStrategyOutcome(event string, err error) {
+	limit := sp.maxStrategyFailures()
+	if limit == 0 {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if err == nil || !script.IsBudgetError(err) {
+		delete(sp.strategyFails, event)
+		return
+	}
+	sp.strategyFails[event]++
+	if sp.strategyFails[event] < limit {
+		return
+	}
+	delete(sp.strategies, event)
+	delete(sp.strategyFails, event)
+	sp.stats.QuarantinedStrategies++
+	sp.logf("core: strategy %q quarantined after %d consecutive budget aborts (last: %v)",
+		event, limit, err)
 }
 
 // SetScriptStrategiesTable evaluates src, which must yield a table mapping
@@ -78,14 +126,7 @@ func (sp *SmartProxy) SetScriptStrategiesTable(src string) error {
 			installErr = fmt.Errorf("core: strategies table entries must map event names to functions")
 			return false
 		}
-		fn := v
-		sp.SetStrategy(event, func(ctx context.Context, p *SmartProxy) error {
-			self := p.buildScriptSelf(ctx)
-			p.scriptMu.Lock()
-			_, err := p.in.Call(fn, []script.Value{self})
-			p.scriptMu.Unlock()
-			return err
-		})
+		sp.installScriptStrategy(event, v)
 		return true
 	})
 	return installErr

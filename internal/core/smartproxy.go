@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"autoadapt/internal/clock"
 	"autoadapt/internal/orb"
@@ -94,6 +95,19 @@ type Options struct {
 	Logger *log.Logger
 	// MaxScriptSteps bounds script strategy execution.
 	MaxScriptSteps int
+	// ScriptWallBudget bounds each strategy activation by wall clock;
+	// ScriptMemBudget bounds its accounted allocation. Zero leaves the
+	// corresponding bound off. Strategies are shipped code (Fig. 7 arrives
+	// over the wire), so a hostile or buggy one must not be able to wedge
+	// the adaptation path.
+	ScriptWallBudget time.Duration
+	ScriptMemBudget  int64
+	// MaxStrategyFailures quarantines a script strategy after this many
+	// consecutive budget-exhaustion aborts (step, wall, or memory): the
+	// strategy is uninstalled and the event falls back to "no strategy".
+	// Ordinary script errors do not count. 0 uses
+	// DefaultMaxStrategyFailures; negative disables quarantine.
+	MaxStrategyFailures int
 	// Failover treats availability as a nonfunctional requirement: when an
 	// invocation fails with a transport-level error (server crashed,
 	// connection lost — not application errors), the proxy re-selects with
@@ -139,7 +153,15 @@ type Stats struct {
 	// ObserverWatches counts those that fell back to the oneway callback.
 	PushWatches     int64
 	ObserverWatches int64
+	// QuarantinedStrategies counts script strategies uninstalled after
+	// repeated budget-exhaustion aborts (see Options.MaxStrategyFailures).
+	QuarantinedStrategies int64
 }
+
+// DefaultMaxStrategyFailures is the consecutive budget-abort threshold at
+// which a script strategy is quarantined when Options.MaxStrategyFailures
+// is zero.
+const DefaultMaxStrategyFailures = 3
 
 var observerSeq atomic.Int64
 
@@ -149,12 +171,13 @@ type SmartProxy struct {
 	observerRef wire.ObjRef
 	observerKey string
 
-	mu         sync.Mutex // guards selection, strategies, queue, stats
-	sel        *selection
-	strategies map[string]Strategy
-	queue      []string
-	closed     bool
-	stats      Stats
+	mu            sync.Mutex // guards selection, strategies, queue, stats
+	sel           *selection
+	strategies    map[string]Strategy
+	strategyFails map[string]int // consecutive budget aborts per script strategy
+	queue         []string
+	closed        bool
+	stats         Stats
 
 	adaptMu sync.Mutex // serializes adaptation passes
 
@@ -180,11 +203,14 @@ func New(opts Options) (*SmartProxy, error) {
 		return nil, errors.New("core: Options.Client is required")
 	}
 	sp := &SmartProxy{
-		opts:       opts,
-		strategies: make(map[string]Strategy),
+		opts:          opts,
+		strategies:    make(map[string]Strategy),
+		strategyFails: make(map[string]int),
 		in: script.New(script.Options{
-			MaxSteps: opts.MaxScriptSteps,
-			Clock:    clock.Real{}, // §VI time-of-day context for strategies
+			MaxSteps:   opts.MaxScriptSteps,
+			WallBudget: opts.ScriptWallBudget,
+			MemBudget:  opts.ScriptMemBudget,
+			Clock:      clock.Real{}, // §VI time-of-day context for strategies
 		}),
 	}
 	// Script strategies get the full LuaCorba/LuaTrading surface: they can

@@ -143,3 +143,13 @@ func WithSelfRef(ref wire.ObjRef) func(*Options) {
 func WithLogger(l *log.Logger) func(*Options) {
 	return func(o *Options) { o.Logger = l }
 }
+
+// WithScriptBudgets bounds every shipped-code evaluation (aspects, event
+// predicates, update scripts) by wall clock and accounted allocation.
+// Zero leaves a bound off.
+func WithScriptBudgets(wall time.Duration, mem int64) func(*Options) {
+	return func(o *Options) {
+		o.ScriptWallBudget = wall
+		o.ScriptMemBudget = mem
+	}
+}

@@ -89,6 +89,15 @@ func (f NotifierFunc) Notify(observer wire.ObjRef, eventID string) error {
 // applied when Options.MaxNotifyFailures is zero.
 const DefaultMaxNotifyFailures = 3
 
+// DefaultMaxScriptFailures is the consecutive budget-abort threshold at
+// which a shipped aspect evaluator or event predicate is quarantined
+// (removed) when Options.MaxScriptFailures is zero. Ordinary script errors
+// (a typo'd field, a type error) do not count — only resource aborts
+// (step/wall/memory budget, cancellation), which mark the code as hostile
+// or runaway: each evaluation burns the full budget, so keeping it would
+// tax every tick forever.
+const DefaultMaxScriptFailures = 3
+
 // Options configures a monitor.
 type Options struct {
 	// Name identifies the monitored property ("LoadAvg").
@@ -117,6 +126,17 @@ type Options struct {
 	// MaxScriptSteps bounds each shipped-code evaluation (see script
 	// package). Zero applies script.DefaultMaxSteps.
 	MaxScriptSteps int
+	// ScriptWallBudget bounds each shipped-code evaluation's wall-clock
+	// time (checked against Clock, so sim-clock tests are deterministic).
+	// Zero disables the bound.
+	ScriptWallBudget time.Duration
+	// ScriptMemBudget bounds each shipped-code evaluation's accounted
+	// allocation in bytes. Zero disables the bound.
+	ScriptMemBudget int64
+	// MaxScriptFailures quarantines (removes) an aspect or event predicate
+	// after this many consecutive budget aborts. Zero means
+	// DefaultMaxScriptFailures; negative disables the quarantine.
+	MaxScriptFailures int
 	// SelfRef is the monitor's own object reference, passed to predicates
 	// that want to hand it onward. May be zero.
 	SelfRef wire.ObjRef
@@ -140,6 +160,8 @@ type aspect struct {
 	fn    script.Value // function(self, currval, monitor)
 	self  script.Value // persistent state table
 	value script.Value // last computed value
+	// budgetFails counts consecutive budget aborts (script quarantine).
+	budgetFails int
 }
 
 type observer struct {
@@ -153,6 +175,9 @@ type observer struct {
 	sink orb.EventSink
 	// failures counts consecutive failed notifications (quarantine).
 	failures int
+	// budgetFails counts consecutive budget aborts of the predicate
+	// (script quarantine, independent of delivery failures).
+	budgetFails int
 	// notifiedVersion is the value version this push observer last fired
 	// at. Detection may run more than once per sample (SetValue streams
 	// immediately, then the next Tick re-detects the same value); push
@@ -190,8 +215,13 @@ func New(opts Options) (*Monitor, error) {
 		opts.Clock = clock.Real{}
 	}
 	m := &Monitor{
-		opts:      opts,
-		in:        script.New(script.Options{MaxSteps: opts.MaxScriptSteps, Clock: opts.Clock}),
+		opts: opts,
+		in: script.New(script.Options{
+			MaxSteps:   opts.MaxScriptSteps,
+			Clock:      opts.Clock,
+			WallBudget: opts.ScriptWallBudget,
+			MemBudget:  opts.ScriptMemBudget,
+		}),
 		version:   1,
 		aspects:   make(map[string]*aspect),
 		observers: make(map[int]*observer),
@@ -369,8 +399,17 @@ func (m *Monitor) detectLocked() ([]*observer, wire.Value) {
 		vs, err := m.in.Call(a.fn, []script.Value{a.self, m.value, m.selfTable})
 		if err != nil {
 			m.logf("monitor %s: aspect %s: %v", m.opts.Name, n, err)
+			if script.IsBudgetError(err) {
+				a.budgetFails++
+				if limit := m.maxScriptFailures(); limit > 0 && a.budgetFails >= limit {
+					delete(m.aspects, n)
+					m.logf("monitor %s: quarantined aspect %s after %d budget aborts",
+						m.opts.Name, n, a.budgetFails)
+				}
+			}
 			continue
 		}
+		a.budgetFails = 0
 		if len(vs) > 0 {
 			a.value = vs[0]
 		} else {
@@ -399,8 +438,17 @@ func (m *Monitor) detectLocked() ([]*observer, wire.Value) {
 		vs, err := m.in.Call(o.fn, []script.Value{obsArg, m.value, m.selfTable})
 		if err != nil {
 			m.logf("monitor %s: predicate for %s: %v", m.opts.Name, o.eventID, err)
+			if script.IsBudgetError(err) {
+				o.budgetFails++
+				if limit := m.maxScriptFailures(); limit > 0 && o.budgetFails >= limit {
+					delete(m.observers, id)
+					m.logf("monitor %s: quarantined predicate for %s (observer %d) after %d budget aborts",
+						m.opts.Name, o.eventID, id, o.budgetFails)
+				}
+			}
 			continue
 		}
+		o.budgetFails = 0
 		if len(vs) > 0 && vs[0].Truthy() {
 			if o.sink != nil {
 				o.notifiedVersion = m.version
@@ -438,6 +486,25 @@ func (m *Monitor) maxNotifyFailures() int {
 	default:
 		return DefaultMaxNotifyFailures
 	}
+}
+
+// maxScriptFailures resolves the script-quarantine threshold (0 = disabled).
+func (m *Monitor) maxScriptFailures() int {
+	switch {
+	case m.opts.MaxScriptFailures > 0:
+		return m.opts.MaxScriptFailures
+	case m.opts.MaxScriptFailures < 0:
+		return 0
+	default:
+		return DefaultMaxScriptFailures
+	}
+}
+
+// AspectCount reports installed aspects (diagnostics; quarantine tests).
+func (m *Monitor) AspectCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.aspects)
 }
 
 // deliver sends the fired events outside the monitor lock — pushed onto

@@ -114,6 +114,14 @@ func (b *breaker) record(err error, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		// Admission shed: the peer answered, so it is alive — but it
+		// refused the work, so this is no evidence it can serve either.
+		// Leave the consecutive-failure count and the state alone; just
+		// release a probe slot so half-open circuits can try again.
+		if probe {
+			b.probing = false
+		}
 	case err == nil || isRemoteReply(err):
 		b.state = BreakerClosed
 		b.fails = 0

@@ -24,6 +24,13 @@ var (
 	// deterministic load shedding, not a transport fault: retrying
 	// immediately would only re-contend the window.
 	ErrWindowFull = errors.New("orb: connection in-flight window full")
+	// ErrOverloaded matches (via errors.Is) a RemoteError carrying
+	// CodeOverloaded: the server shed the request at admission because its
+	// dispatch pool and queue were full. Nothing was dispatched, so the
+	// retry policy treats it as safely retryable after backoff; the
+	// breaker treats it as neutral — the peer is alive but saturated, so
+	// it is neither a liveness failure nor proof of spare capacity.
+	ErrOverloaded = errors.New("orb: server overloaded")
 )
 
 // DefaultWriteTimeout bounds a single frame write when neither the
@@ -39,6 +46,12 @@ type RemoteError struct {
 
 // Error implements error.
 func (e *RemoteError) Error() string { return fmt.Sprintf("remote error [%s]: %s", e.Code, e.Msg) }
+
+// Is lets errors.Is(err, ErrOverloaded) classify admission sheds without
+// losing the RemoteError carrying the server's message.
+func (e *RemoteError) Is(target error) bool {
+	return target == ErrOverloaded && e.Code == CodeOverloaded
+}
 
 // IsRemoteCode reports whether err is a RemoteError carrying code.
 func IsRemoteCode(err error, code string) bool {

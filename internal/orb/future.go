@@ -243,12 +243,12 @@ type ClientStats struct {
 
 // clientStats is the live atomic counterpart of ClientStats.
 type clientStats struct {
-	syncCalls, asyncCalls, oneways       atomic.Uint64
-	lateReplies, canceled                atomic.Uint64
-	windowWaits, windowRejects           atomic.Uint64
-	batchFlushes, batchedFrames          atomic.Uint64
-	eventsPushed, eventsDropped          atomic.Uint64
-	subscribes                           atomic.Uint64
+	syncCalls, asyncCalls, oneways atomic.Uint64
+	lateReplies, canceled          atomic.Uint64
+	windowWaits, windowRejects     atomic.Uint64
+	batchFlushes, batchedFrames    atomic.Uint64
+	eventsPushed, eventsDropped    atomic.Uint64
+	subscribes                     atomic.Uint64
 }
 
 // Stats returns a snapshot of the client's counters.

@@ -137,6 +137,12 @@ func (p RetryPolicy) Retryable(err error) bool {
 	case isRetryNeutral(err):
 		return false
 	}
+	if errors.Is(err, ErrOverloaded) {
+		// The server shed the request at admission: nothing was dispatched,
+		// so a retry can never double-execute, and the backoff between
+		// attempts is exactly the pressure release the server asked for.
+		return true
+	}
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return false // the server answered; its answer stands

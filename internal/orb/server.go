@@ -25,6 +25,20 @@ const (
 	// CodeDeadline is returned when a request arrives with its wire
 	// deadline already expired; the server aborts before dispatch.
 	CodeDeadline = "DEADLINE_EXCEEDED"
+	// CodeOverloaded is returned when the server sheds a request at
+	// admission because its dispatch pool and queue are saturated. Clients
+	// surface it as ErrOverloaded: retryable with backoff, breaker-neutral.
+	CodeOverloaded = wire.StatusOverloaded
+)
+
+// Admission-control defaults. A server dispatches at most
+// MaxConcurrent requests at once across all connections (plus one resident
+// worker per connection and the inline fast path); up to MaxQueue more wait
+// in the dispatch queue, and beyond that two-way requests are shed with
+// CodeOverloaded replies and oneways are dropped.
+const (
+	DefaultMaxConcurrent = 64
+	DefaultMaxQueue      = 1024
 )
 
 // Servant is the dynamic skeleton interface: every object exposes a single
@@ -95,6 +109,18 @@ type ServerOptions struct {
 	// BatchBytes is the pending-byte threshold that flushes a reply batch
 	// early. 0 means DefaultBatchBytes. Ignored unless BatchWindow > 0.
 	BatchBytes int
+	// MaxConcurrent caps the server-wide dispatch pool: the number of
+	// non-inline requests executing at once beyond each connection's
+	// resident worker. 0 means DefaultMaxConcurrent; negative restores the
+	// pre-admission-control behavior of spilling an unbounded goroutine per
+	// pipelined request (benchmark baselines only — a hostile or merely
+	// bursty client can then drive goroutine count without limit).
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted requests may wait for a pool
+	// worker. When the queue is full, two-way requests are shed with a
+	// CodeOverloaded error reply and oneways are dropped. 0 means
+	// DefaultMaxQueue. Ignored when MaxConcurrent is negative.
+	MaxQueue int
 }
 
 // ServerStats is a snapshot of a server's counters.
@@ -104,10 +130,26 @@ type ServerStats struct {
 	BatchedFrames uint64
 	// BatchFlushes counts coalesced writes (syscalls) for those frames.
 	BatchFlushes uint64
+	// ShedRequests counts requests refused at admission with
+	// CodeOverloaded (or silently dropped, for oneways) because the
+	// dispatch pool and queue were both full.
+	ShedRequests uint64
+	// ExpiredShed counts requests dropped at admission because their wire
+	// deadline had already passed when they were read off the connection —
+	// the caller has given up, so dispatching would be pure waste.
+	ExpiredShed uint64
+	// SpilledRequests counts requests that overflowed their connection's
+	// resident worker into the shared dispatch pool (the bounded successor
+	// of the old per-request goroutine spill).
+	SpilledRequests uint64
+	// QueueDepth is the number of admitted requests currently waiting for
+	// a pool worker (a gauge, not a counter).
+	QueueDepth int
 }
 
 type serverStats struct {
-	batchedFrames, batchFlushes atomic.Uint64
+	batchedFrames, batchFlushes                atomic.Uint64
+	shedRequests, expiredShed, spilledRequests atomic.Uint64
 }
 
 // Server is an object adapter: it owns a listener, a table of servants
@@ -126,15 +168,30 @@ type Server struct {
 
 	stats serverStats
 
+	// Admission control: queue feeds a pool of at most maxConcurrent
+	// workers, spawned lazily as demand appears. queue is nil when
+	// MaxConcurrent is negative (legacy unbounded spill).
+	queue         chan connJob
+	maxConcurrent int
+	poolWorkers   atomic.Int64
+	poolWG        sync.WaitGroup
+
 	wg sync.WaitGroup
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
-		BatchedFrames: s.stats.batchedFrames.Load(),
-		BatchFlushes:  s.stats.batchFlushes.Load(),
+	st := ServerStats{
+		BatchedFrames:   s.stats.batchedFrames.Load(),
+		BatchFlushes:    s.stats.batchFlushes.Load(),
+		ShedRequests:    s.stats.shedRequests.Load(),
+		ExpiredShed:     s.stats.expiredShed.Load(),
+		SpilledRequests: s.stats.spilledRequests.Load(),
 	}
+	if s.queue != nil {
+		st.QueueDepth = len(s.queue)
+	}
+	return st
 }
 
 type servantEntry struct {
@@ -159,6 +216,17 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		endpoint: JoinEndpoint(opts.Network.Name(), l.Addr()),
 		servants: make(map[string]*servantEntry),
 		conns:    make(map[net.Conn]struct{}),
+	}
+	if opts.MaxConcurrent >= 0 {
+		s.maxConcurrent = opts.MaxConcurrent
+		if s.maxConcurrent == 0 {
+			s.maxConcurrent = DefaultMaxConcurrent
+		}
+		maxQueue := opts.MaxQueue
+		if maxQueue == 0 {
+			maxQueue = DefaultMaxQueue
+		}
+		s.queue = make(chan connJob, maxQueue)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -225,6 +293,12 @@ func (s *Server) Close() error {
 	}
 	s.connsMu.Unlock()
 	s.wg.Wait()
+	// All read loops are done, so nothing can enqueue or spawn workers
+	// anymore; drain the pool and wait for it.
+	if s.queue != nil {
+		close(s.queue)
+		s.poolWG.Wait()
+	}
 	return err
 }
 
@@ -249,11 +323,97 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// connJob is one decoded request bound for the dispatch path.
+// connJob is one decoded request bound for the dispatch path. It carries
+// its connection's writer so pool workers can answer on behalf of any
+// connection.
 type connJob struct {
 	entry  *servantEntry // pre-resolved servant (nil → NO_SUCH_OBJECT)
 	req    *wire.Request
+	cw     *connWriter
 	oneway bool
+}
+
+// maybeSpawnWorker adds one pool worker unless the pool is already at
+// maxConcurrent. Called after each enqueue, so every queued job is
+// eventually picked up: either an existing worker drains it before
+// retiring, or the spawn here (which the enqueuer issues *after* the job
+// is visible in the queue) provides the worker.
+func (s *Server) maybeSpawnWorker() {
+	for {
+		n := s.poolWorkers.Load()
+		if int(n) >= s.maxConcurrent {
+			return
+		}
+		if s.poolWorkers.CompareAndSwap(n, n+1) {
+			s.poolWG.Add(1)
+			go s.poolWorker()
+			return
+		}
+	}
+}
+
+// poolWorker drains the dispatch queue and retires when it runs dry, so an
+// idle server parks no goroutines. Retirement must not strand a job that
+// raced in behind the empty check: the worker decrements its slot FIRST
+// and then re-checks the queue. A job enqueued before the re-check is
+// drained here; one enqueued after it is seen by its enqueuer's
+// maybeSpawnWorker with the already-decremented count, which spawns a
+// replacement. Either way someone owns the job.
+func (s *Server) poolWorker() {
+	defer s.poolWG.Done()
+	for {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.handle(j.cw, j)
+		default:
+			s.poolWorkers.Add(-1)
+			select {
+			case j, ok := <-s.queue:
+				if !ok {
+					return
+				}
+				s.poolWorkers.Add(1)
+				s.handle(j.cw, j)
+			default:
+				return
+			}
+		}
+	}
+}
+
+// admit routes one non-inline request past its connection's busy resident
+// worker: into the bounded dispatch pool, or — when pool and queue are
+// saturated — sheds it with a CodeOverloaded reply (oneways are dropped).
+// With MaxConcurrent < 0 the legacy unbounded spill applies and reqWG
+// tracks the goroutine.
+func (s *Server) admit(cw *connWriter, j connJob, reqWG *sync.WaitGroup) {
+	if s.queue == nil {
+		s.stats.spilledRequests.Add(1)
+		reqWG.Add(1)
+		go func(j connJob) {
+			defer reqWG.Done()
+			s.handle(cw, j)
+		}(j)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.stats.spilledRequests.Add(1)
+		s.maybeSpawnWorker()
+	default:
+		s.stats.shedRequests.Add(1)
+		if j.oneway {
+			return
+		}
+		rep := &wire.Reply{ID: j.req.ID, ErrCode: CodeOverloaded,
+			Err: fmt.Sprintf("server overloaded: dispatch queue full, %q shed at admission", j.req.Operation)}
+		if err := s.writeReply(cw, rep, time.Now().Add(DefaultWriteTimeout)); err != nil {
+			s.logf("orb: write overload reply: %v", err)
+		}
+	}
 }
 
 // connWriter serializes frame writes on one server connection. Reply
@@ -328,9 +488,11 @@ type serverSub struct {
 // run directly on the read goroutine; everything else is handed to a single
 // resident worker goroutine, and only when that worker is already busy —
 // i.e. the client is genuinely pipelining concurrent requests, or a servant
-// is slow/blocking — does a request spill into a goroutine of its own. The
-// spill keeps the seed's concurrency semantics: concurrent invocations on
-// one multiplexed connection still interleave.
+// is slow/blocking — does a request overflow into the server-wide bounded
+// dispatch pool (see admit). Concurrent invocations on one multiplexed
+// connection still interleave, but the server's goroutine count is capped
+// at conns + MaxConcurrent instead of growing with the offered load;
+// beyond the pool's queue, requests are shed with CodeOverloaded.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -383,7 +545,24 @@ func (s *Server) serveConn(conn net.Conn) {
 			job := connJob{
 				entry:  s.servantEntryFor(msg.Req.ObjectKey),
 				req:    msg.Req,
+				cw:     cw,
 				oneway: msg.Type == wire.MsgOneway,
+			}
+			// Deadline-aware shedding: a request whose wire deadline has
+			// already passed gets its DEADLINE_EXCEEDED answer here, before
+			// consuming a worker — under overload the backlog is exactly
+			// what made it late, so dispatching it would compound the
+			// overload with work nobody is waiting for.
+			if d := job.req.Deadline; d != 0 && time.Now().UnixNano() > d {
+				s.stats.expiredShed.Add(1)
+				if !job.oneway {
+					rep := &wire.Reply{ID: job.req.ID, ErrCode: CodeDeadline,
+						Err: fmt.Sprintf("deadline expired before dispatch of %q", job.req.Operation)}
+					if err := s.writeReply(cw, rep, time.Now().Add(time.Second)); err != nil {
+						s.logf("orb: write expired-shed reply: %v", err)
+					}
+				}
+				continue
 			}
 			if job.entry != nil && job.entry.inline {
 				s.handle(cw, job)
@@ -401,12 +580,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			select {
 			case worker <- job:
-			default: // worker busy: spill so requests keep interleaving
-				reqWG.Add(1)
-				go func(j connJob) {
-					defer reqWG.Done()
-					s.handle(cw, j)
-				}(job)
+			default: // worker busy: the client is pipelining; overflow into
+				// the bounded dispatch pool (or shed).
+				s.admit(cw, job, &reqWG)
 			}
 		case wire.MsgSubscribe:
 			// Handled inline: registering a sink must be quick (EventSource
@@ -520,6 +696,10 @@ func (s *Server) dispatch(req *wire.Request) *wire.Reply {
 // dispatchEntry is dispatch with the servant lookup already done.
 func (s *Server) dispatchEntry(entry *servantEntry, req *wire.Request) *wire.Reply {
 	if req.Deadline != 0 && time.Now().UnixNano() > req.Deadline {
+		// Backstop for requests that expired after admission (e.g. while
+		// queued for a pool worker); admission-time expiry is caught in
+		// serveConn. Both count as ExpiredShed.
+		s.stats.expiredShed.Add(1)
 		return &wire.Reply{ID: req.ID, ErrCode: CodeDeadline,
 			Err: fmt.Sprintf("deadline expired before dispatch of %q", req.Operation)}
 	}

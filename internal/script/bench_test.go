@@ -99,4 +99,3 @@ func BenchmarkCompileFig7NoCache(b *testing.B) {
 		}
 	}
 }
-

@@ -1,11 +1,13 @@
 package script
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"autoadapt/internal/clock"
 )
@@ -16,6 +18,18 @@ var (
 	// Shipped code from remote peers runs under this limit so a buggy or
 	// hostile predicate cannot wedge a monitor.
 	ErrStepBudget = errors.New("script: execution step budget exhausted")
+	// ErrWallBudget is returned when a call exceeds Options.WallBudget of
+	// wall-clock time. The check is amortized (every budgetCheckInterval
+	// steps) and reads Options.Clock, so sim-clock tests trip it
+	// deterministically and a blocked builtin is still bounded by the next
+	// step the script takes.
+	ErrWallBudget = errors.New("script: wall-clock budget exhausted")
+	// ErrMemBudget is returned when a call exceeds Options.MemBudget bytes
+	// of accounted allocation (tables, table entries, string concats,
+	// call-frame slots, and allocating stdlib results). The account is
+	// monotonic within one call — frees are not credited back — so it
+	// bounds total allocation pressure, not live heap.
+	ErrMemBudget = errors.New("script: memory budget exhausted")
 	// ErrNotCallable is returned when a non-function is called.
 	ErrNotCallable = errors.New("script: value is not callable")
 )
@@ -61,6 +75,14 @@ type Options struct {
 	// CacheSize sizes the private chunk cache created when Cache is nil.
 	// Zero means DefaultCacheSize; negative disables caching entirely.
 	CacheSize int
+	// WallBudget bounds the wall-clock time of each top-level call
+	// (Eval/Call/CallCtx). Zero disables the bound. Deadlines are computed
+	// and checked against Options.Clock when set (deterministic under a
+	// sim clock), the real clock otherwise.
+	WallBudget time.Duration
+	// MemBudget bounds the bytes of accounted allocation per top-level
+	// call (see ErrMemBudget). Zero disables the bound.
+	MemBudget int64
 }
 
 // DefaultMaxSteps is the per-call step budget applied when Options.MaxSteps
@@ -86,6 +108,15 @@ type Interp struct {
 	cache   *ChunkCache
 	steps   int
 	budget  int
+
+	// Sandbox state, reset at each top-level Call/CallCtx. interruptible
+	// caches "ctx or deadline is armed" so the common unbudgeted path pays
+	// one boolean test per amortization window and nothing else.
+	ctx           context.Context
+	deadline      time.Time
+	interruptible bool
+	mem           int64
+	memBudget     int64
 }
 
 // New returns an interpreter with the standard library installed.
@@ -216,15 +247,90 @@ func (in *Interp) CompileFunction(chunkName, src string) (Value, error) {
 	return vs[0], nil
 }
 
-// Call invokes a function value with args, enforcing the step budget.
+// Call invokes a function value with args, enforcing the step, wall-clock
+// and memory budgets.
 func (in *Interp) Call(fn Value, args []Value) ([]Value, error) {
+	return in.CallCtx(nil, fn, args)
+}
+
+// CallCtx is Call with cooperative cancellation: the script is aborted
+// (with ctx.Err(), position-wrapped) at the next amortized budget check
+// after ctx is done. A nil or never-canceled ctx adds no per-step cost.
+func (in *Interp) CallCtx(ctx context.Context, fn Value, args []Value) ([]Value, error) {
 	in.steps = 0
 	in.budget = in.opts.MaxSteps
 	if in.budget == 0 {
 		in.budget = DefaultMaxSteps
 	}
+	in.mem = 0
+	in.memBudget = in.opts.MemBudget
+	in.ctx = nil
+	if ctx != nil && ctx.Done() != nil {
+		in.ctx = ctx
+	}
+	in.deadline = time.Time{}
+	if in.opts.WallBudget > 0 {
+		in.deadline = in.now().Add(in.opts.WallBudget)
+	}
+	in.interruptible = in.ctx != nil || !in.deadline.IsZero()
 	return in.call(fn, args, 0)
 }
+
+// now reads the sandbox clock: the injected Options.Clock when present
+// (sim-clock tests), the real clock otherwise.
+func (in *Interp) now() time.Time {
+	if in.opts.Clock != nil {
+		return in.opts.Clock.Now()
+	}
+	return time.Now()
+}
+
+// budgetCheckInterval amortizes the wall-clock/cancellation checks: they
+// run every this-many steps, so the per-step cost of an armed budget is a
+// mask test and the reaction latency to a deadline or cancel is bounded by
+// the time the script takes to execute the interval (µs-scale for the
+// tree-walker).
+const budgetCheckInterval = 1 << 10
+
+// checkInterrupt is the cold half of frame.step: consult the context and
+// the wall-clock deadline. Kept out of step so the hot path stays small
+// enough to inline.
+func (in *Interp) checkInterrupt(chunk string, line int) error {
+	if in.ctx != nil {
+		if err := in.ctx.Err(); err != nil {
+			return fmt.Errorf("%s:%d: %w", chunk, line, err)
+		}
+	}
+	if !in.deadline.IsZero() && in.now().After(in.deadline) {
+		return fmt.Errorf("%s:%d: %w", chunk, line, ErrWallBudget)
+	}
+	return nil
+}
+
+// chargeMem debits n bytes from the call's memory budget. Builtins that
+// allocate proportionally to their inputs (string.rep, table.insert, ...)
+// charge through this too. A zero budget means unlimited and costs one
+// compare.
+func (in *Interp) chargeMem(n int) error {
+	if in.memBudget <= 0 {
+		return nil
+	}
+	in.mem += int64(n)
+	if in.mem > in.memBudget {
+		return ErrMemBudget
+	}
+	return nil
+}
+
+// Accounted allocation costs, in bytes. These deliberately track the
+// *model* (a Value slot, a table, a hash entry) rather than Go's exact
+// allocator behavior, so the account is deterministic across pool reuse
+// and map growth.
+const (
+	memValueCost = 64  // sizeof(Value)
+	memTableCost = 128 // empty Table + headers
+	memEntryCost = 64  // one array/hash slot (Value + key overhead)
+)
 
 // CallNested invokes a function from inside a builtin without resetting the
 // step budget; use this from GoFuncs that receive script callbacks.
@@ -250,6 +356,13 @@ func (in *Interp) call(fn Value, args []Value, depth int) ([]Value, error) {
 
 func (in *Interp) callClosure(cl *Closure, args []Value, depth int) ([]Value, error) {
 	p := cl.proto
+	// Frame storage is charged per call, not per pool miss: pooled reuse is
+	// nondeterministic, and what the budget models is the call's demand.
+	if in.memBudget > 0 {
+		if err := in.chargeMem(p.numSlots*memValueCost + p.numBoxes*(memValueCost+8)); err != nil {
+			return nil, err
+		}
+	}
 	fr := framePool.Get().(*frame)
 	fr.in, fr.cl, fr.chunk, fr.depth = in, cl, p.chunk, depth
 	if cap(fr.slots) >= p.numSlots {
@@ -399,9 +512,27 @@ func (f *frame) rtErr(line int, format string, args ...any) error {
 }
 
 func (f *frame) step(line int) error {
-	f.in.steps++
-	if f.in.budget >= 0 && f.in.steps > f.in.budget {
+	in := f.in
+	in.steps++
+	if in.budget >= 0 && in.steps > in.budget {
 		return fmt.Errorf("%s:%d: %w", f.chunk, line, ErrStepBudget)
+	}
+	if in.interruptible && in.steps&(budgetCheckInterval-1) == 0 {
+		return in.checkInterrupt(f.chunk, line)
+	}
+	return nil
+}
+
+// chargeMem is Interp.chargeMem with the frame's source position attached
+// to the budget error.
+func (f *frame) chargeMem(line, n int) error {
+	in := f.in
+	if in.memBudget <= 0 {
+		return nil
+	}
+	in.mem += int64(n)
+	if in.mem > in.memBudget {
+		return fmt.Errorf("%s:%d: %w", f.chunk, line, ErrMemBudget)
 	}
 	return nil
 }
@@ -700,6 +831,11 @@ func (f *frame) assign(target expr, v Value) error {
 		if err != nil {
 			return err
 		}
+		// Charge per stored entry so a table bomb ("t[i] = i" forever) is
+		// bounded by the memory budget, not just the step budget.
+		if err := f.chargeMem(t.line, memEntryCost); err != nil {
+			return err
+		}
 		if err := tbl.Set(key, v); err != nil {
 			return f.rtErr(t.line, "%v", err)
 		}
@@ -837,7 +973,9 @@ func (f *frame) evalN(e expr) ([]Value, error) {
 	}
 }
 
-// wrapCallErr attaches a position to errors that lack one.
+// wrapCallErr attaches a position to errors that lack one. Budget and
+// cancellation errors pass through unwrapped so hosts can classify them
+// with errors.Is after any call depth.
 func (f *frame) wrapCallErr(line int, err error) error {
 	var rt *RuntimeError
 	if errors.As(err, &rt) {
@@ -847,10 +985,20 @@ func (f *frame) wrapCallErr(line int, err error) error {
 	if errors.As(err, &syn) {
 		return err
 	}
-	if errors.Is(err, ErrStepBudget) {
+	if IsBudgetError(err) {
 		return err
 	}
 	return &RuntimeError{Chunk: f.chunk, Line: line, Msg: err.Error()}
+}
+
+// IsBudgetError reports whether err is a sandbox-resource abort: a step,
+// wall-clock or memory budget exhaustion, or the caller's context ending.
+// Hosts use this to distinguish "the script is hostile or runaway"
+// (quarantine the source) from ordinary script bugs.
+func IsBudgetError(err error) bool {
+	return errors.Is(err, ErrStepBudget) || errors.Is(err, ErrWallBudget) ||
+		errors.Is(err, ErrMemBudget) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 func (f *frame) evalNumber(e expr, what string) (float64, error) {
@@ -913,12 +1061,18 @@ func (f *frame) eval(e expr) (Value, error) {
 		}
 		return vs[0], nil
 	case *tableExpr:
+		if err := f.chargeMem(ex.line, memTableCost+(len(ex.arrayItems)+len(ex.keys))*memEntryCost); err != nil {
+			return Nil(), err
+		}
 		t := NewTable()
 		for i, item := range ex.arrayItems {
 			if i == len(ex.arrayItems)-1 && len(ex.keys) == 0 {
 				// Last positional item expands multi-values.
 				vs, err := f.evalN(item)
 				if err != nil {
+					return Nil(), err
+				}
+				if err := f.chargeMem(ex.line, len(vs)*memEntryCost); err != nil {
 					return Nil(), err
 				}
 				for _, v := range vs {
@@ -1030,6 +1184,12 @@ func (f *frame) evalBinary(ex *binExpr) (Value, error) {
 		if !lok || !rok {
 			return Nil(), f.rtErr(ex.line, "attempt to concatenate a %s value",
 				pickBadKind(lhs, rhs, lok))
+		}
+		// Charge the result length: a doubling concat bomb ("s = s .. s")
+		// hits the memory ceiling after O(log budget) iterations, long
+		// before the step budget would notice it.
+		if err := f.chargeMem(ex.line, len(ls)+len(rs)); err != nil {
+			return Nil(), err
 		}
 		return String(ls + rs), nil
 	case tokLt, tokLe, tokGt, tokGe:

@@ -233,7 +233,7 @@ func (in *Interp) installStringLib() {
 		}
 		return []Value{String(strings.ToLower(s))}, nil
 	}))
-	lib.SetString("rep", Func("string.rep", func(_ *Interp, args []Value) ([]Value, error) {
+	lib.SetString("rep", Func("string.rep", func(in *Interp, args []Value) ([]Value, error) {
 		s, err := strArg(args, 0, "string.rep")
 		if err != nil {
 			return nil, err
@@ -244,6 +244,9 @@ func (in *Interp) installStringLib() {
 		}
 		if n*len(s) > 1<<20 {
 			return nil, &RuntimeError{Msg: "string.rep: result too large"}
+		}
+		if err := in.chargeMem(n * len(s)); err != nil {
+			return nil, err
 		}
 		return []Value{String(strings.Repeat(s, n))}, nil
 	}))
@@ -263,13 +266,16 @@ func (in *Interp) installStringLib() {
 		}
 		return []Value{Int(idx + 1), Int(idx + len(sub))}, nil
 	}))
-	lib.SetString("format", Func("string.format", func(_ *Interp, args []Value) ([]Value, error) {
+	lib.SetString("format", Func("string.format", func(in *Interp, args []Value) ([]Value, error) {
 		f, err := strArg(args, 0, "string.format")
 		if err != nil {
 			return nil, err
 		}
 		out, err := scriptFormat(f, args[1:])
 		if err != nil {
+			return nil, err
+		}
+		if err := in.chargeMem(len(out)); err != nil {
 			return nil, err
 		}
 		return []Value{String(out)}, nil
@@ -402,10 +408,13 @@ func reduceNums(args []Value, name string, fn func(a, b float64) float64) ([]Val
 
 func (in *Interp) installTableLib() {
 	lib := NewTable()
-	lib.SetString("insert", Func("table.insert", func(_ *Interp, args []Value) ([]Value, error) {
+	lib.SetString("insert", Func("table.insert", func(in *Interp, args []Value) ([]Value, error) {
 		t, ok := arg(args, 0).AsTable()
 		if !ok {
 			return nil, &RuntimeError{Msg: "table.insert: argument is not a table"}
+		}
+		if err := in.chargeMem(memEntryCost); err != nil {
+			return nil, err
 		}
 		switch len(args) {
 		case 2:
@@ -443,7 +452,7 @@ func (in *Interp) installTableLib() {
 		t.arr = t.arr[:len(t.arr)-1]
 		return []Value{v}, nil
 	}))
-	lib.SetString("concat", Func("table.concat", func(_ *Interp, args []Value) ([]Value, error) {
+	lib.SetString("concat", Func("table.concat", func(in *Interp, args []Value) ([]Value, error) {
 		t, ok := arg(args, 0).AsTable()
 		if !ok {
 			return nil, &RuntimeError{Msg: "table.concat: argument is not a table"}
@@ -453,13 +462,18 @@ func (in *Interp) installTableLib() {
 			sep = args[1].Str()
 		}
 		parts := make([]string, 0, t.Len())
+		size := 0
 		for i := 1; i <= t.Len(); i++ {
 			v := t.Index(i)
 			s, ok := concatString(v)
 			if !ok {
 				return nil, &RuntimeError{Msg: fmt.Sprintf("table.concat: element %d is a %s", i, v.Kind())}
 			}
+			size += len(s) + len(sep)
 			parts = append(parts, s)
+		}
+		if err := in.chargeMem(size); err != nil {
+			return nil, err
 		}
 		return []Value{String(strings.Join(parts, sep))}, nil
 	}))

@@ -90,8 +90,10 @@ type Trader struct {
 	resolver DynamicResolver
 
 	// resolveParallel bounds how many dynamic-property resolutions a
-	// single query runs concurrently.
+	// single query runs concurrently; resolveTimeout caps the whole
+	// resolution phase of one query (0 = no cap beyond the caller's ctx).
 	resolveParallel int
+	resolveTimeout  time.Duration
 
 	mu     sync.RWMutex
 	types  map[string]ServiceType
@@ -168,6 +170,21 @@ func (t *Trader) SetResolveParallel(n int) {
 		n = 1
 	}
 	t.resolveParallel = n
+}
+
+// SetResolveTimeout caps the dynamic-property resolution phase of each
+// query. A slow or wedged monitor then costs a query at most d — the
+// offers whose properties did not resolve in time are treated exactly like
+// unreachable monitors (absent from the snapshot, counted against the
+// offer's quarantine threshold). d <= 0 removes the cap, leaving only the
+// caller's context to bound resolution.
+func (t *Trader) SetResolveTimeout(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	t.resolveTimeout = d
 }
 
 // AddType registers a service type. Re-adding a name replaces it.
@@ -318,6 +335,7 @@ func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference 
 		return nil, fmt.Errorf("%w: %q", ErrUnknownServiceType, serviceType)
 	}
 	workers := t.resolveParallel
+	resolveTimeout := t.resolveTimeout
 	// Capture each candidate's Props map pointer while holding the lock.
 	// Export and Modify install a fresh map and never mutate a published
 	// one, and an offer's other fields are immutable after export, so the
@@ -345,7 +363,13 @@ func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference 
 	sc.order, sc.seqs = order, seqs
 	sort.Slice(order, func(i, j int) bool { return seqs[order[i]] < seqs[order[j]] })
 
-	snaps := t.snapshotAll(ctx, candidates, cons, pref, workers, sc)
+	resolveCtx := ctx
+	if resolveTimeout > 0 {
+		var cancel context.CancelFunc
+		resolveCtx, cancel = context.WithTimeout(ctx, resolveTimeout)
+		defer cancel()
+	}
+	snaps := t.snapshotAll(resolveCtx, candidates, cons, pref, workers, sc)
 	t.noteResolveOutcomes(ctx, candidates, sc.outcomes)
 	matched := make([]QueryResult, 0, len(candidates))
 	for _, ci := range order {

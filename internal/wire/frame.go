@@ -44,6 +44,13 @@ func (m MsgType) String() string {
 	}
 }
 
+// StatusOverloaded is the error code a server puts in a reply it sheds at
+// admission because its dispatch pool and queue are saturated. It lives in
+// the wire package (unlike the orb.Code* constants) because both sides of
+// the protocol and the fuzz corpus treat it as part of the frame format:
+// an overload reply must round-trip like any other error reply.
+const StatusOverloaded = "OVERLOADED"
+
 // Request is an invocation of an operation on a remote object. Args are
 // dynamically typed, which is what makes the client side stub-free (the
 // paper's DII analog).

@@ -45,9 +45,10 @@ func TestPropertyDecodeMessageNeverPanics(t *testing.T) {
 			b := make([]byte, n)
 			r.Read(b)
 			// Half the time, start with a valid message type byte so the
-			// deeper decode paths get fuzzed too.
+			// deeper decode paths get fuzzed too — all seven frame types,
+			// including subscribe/unsubscribe/event.
 			if n > 0 && r.Intn(2) == 0 {
-				b[0] = byte(1 + r.Intn(4))
+				b[0] = byte(1 + r.Intn(int(MsgEvent)))
 			}
 			args[0] = reflect.ValueOf(b)
 		},
