@@ -36,6 +36,7 @@ import (
 	"autoadapt/internal/baseline"
 	"autoadapt/internal/core"
 	"autoadapt/internal/idl"
+	"autoadapt/internal/metrics"
 	"autoadapt/internal/monitor"
 	"autoadapt/internal/orb"
 	"autoadapt/internal/rebind"
@@ -77,6 +78,9 @@ type (
 	// Rebinder is a self-healing service binding that re-queries the
 	// trader when its bound server dies (see internal/rebind).
 	Rebinder = rebind.Rebinder
+	// MetricsRegistry collects counters, gauges, and latency histograms
+	// from every instrumented layer (see internal/metrics).
+	MetricsRegistry = metrics.Registry
 )
 
 // TCP is the production transport.
@@ -85,6 +89,10 @@ func TCP() Network { return orb.TCPNetwork{} }
 // NewInprocNetwork returns an in-process transport for tests and
 // single-process deployments.
 func NewInprocNetwork() *orb.InprocNetwork { return orb.NewInprocNetwork() }
+
+// NewMetricsRegistry returns an empty metrics registry to hand to
+// TraderOptions.Metrics / ShardedTraderOptions.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // TraderOptions configures StartTrader.
 type TraderOptions struct {
@@ -111,6 +119,12 @@ type TraderOptions struct {
 	// query so a wedged monitor cannot stall the trader (0 = only the
 	// caller's deadline applies).
 	ResolveTimeout time.Duration
+	// Metrics, when non-nil, instruments the whole daemon — the trader
+	// (query latency, lease churn, quarantine), its ORB server and resolver
+	// client — and exposes the registry's text through the trader's
+	// `metrics` operation (`adaptctl metrics`). Nil disables
+	// instrumentation.
+	Metrics *metrics.Registry
 	// Logger for connection diagnostics.
 	Logger *log.Logger
 }
@@ -131,9 +145,12 @@ func StartTrader(opts TraderOptions) (*TraderHandle, error) {
 	if opts.Network == nil {
 		return nil, errors.New("autoadapt: TraderOptions.Network is required")
 	}
-	client := orb.NewClient(opts.Network)
+	client := orb.NewClientOpts(orb.ClientOptions{
+		Networks: []orb.Network{opts.Network}, Metrics: opts.Metrics,
+	})
 	tr := trading.NewTrader(trading.ClientResolver{Client: client})
 	tr.SetResolveTimeout(opts.ResolveTimeout)
+	tr.SetMetrics(opts.Metrics)
 	for _, st := range opts.Types {
 		tr.AddType(st)
 	}
@@ -151,7 +168,7 @@ func StartTrader(opts TraderOptions) (*TraderHandle, error) {
 	}
 	srv, err := orb.NewServer(orb.ServerOptions{
 		Network: opts.Network, Address: opts.Address, Repo: repo, Logger: opts.Logger,
-		MaxConcurrent: opts.MaxConcurrent,
+		MaxConcurrent: opts.MaxConcurrent, Metrics: opts.Metrics,
 	})
 	if err != nil {
 		_ = client.Close()
@@ -161,7 +178,11 @@ func StartTrader(opts TraderOptions) (*TraderHandle, error) {
 	if opts.CheckIDL {
 		iface = "Trader"
 	}
-	ref := srv.Register(trading.DefaultObjectKey, iface, trading.NewServant(tr))
+	servant := trading.NewServant(tr)
+	if opts.Metrics != nil {
+		servant.WithMetricsText(opts.Metrics.Text)
+	}
+	ref := srv.Register(trading.DefaultObjectKey, iface, servant)
 	h := &TraderHandle{Trader: tr, Ref: ref, server: srv, client: client}
 	if opts.LeaseTTL > 0 {
 		tr.SetLeaseTTL(opts.LeaseTTL)
@@ -216,6 +237,13 @@ type ShardedTraderOptions struct {
 	// the ensemble's server and to every shard respectively.
 	MaxConcurrent  int
 	ResolveTimeout time.Duration
+	// Metrics, when non-nil, instruments the ensemble: every shard and
+	// standby shares the registry (counters aggregate across shards; the
+	// trading_offers/queries/exports gauges are re-registered as
+	// primary-shard sums), the shard manager exports its shard_manager_*
+	// gauges, and the well-known servant answers the `metrics` operation
+	// with the registry's text. Nil disables instrumentation.
+	Metrics *metrics.Registry
 	// Logger for connection and rebalancing diagnostics.
 	Logger *log.Logger
 }
@@ -248,16 +276,20 @@ func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error)
 	if opts.Shards <= 0 {
 		opts.Shards = 4
 	}
-	client := orb.NewClient(opts.Network)
+	client := orb.NewClientOpts(orb.ClientOptions{
+		Networks: []orb.Network{opts.Network}, Metrics: opts.Metrics,
+	})
 	h := &ShardedTraderHandle{client: client}
 	fail := func(err error) (*ShardedTraderHandle, error) {
 		_ = h.Close()
 		return nil, err
 	}
 
+	var allTraders []*trading.Trader
 	newShard := func() *trading.Trader {
 		tr := trading.NewTrader(trading.ClientResolver{Client: client})
 		tr.SetResolveTimeout(opts.ResolveTimeout)
+		tr.SetMetrics(opts.Metrics)
 		if opts.LeaseTTL > 0 {
 			tr.SetLeaseTTL(opts.LeaseTTL)
 			interval := opts.ReapInterval
@@ -266,11 +298,14 @@ func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error)
 			}
 			h.stoppers = append(h.stoppers, tr.StartReaper(interval))
 		}
+		allTraders = append(allTraders, tr)
 		return tr
 	}
 	dirs := make([]trading.Directory, opts.Shards)
+	primaries := make([]*trading.Trader, opts.Shards)
 	for i := range dirs {
-		dirs[i] = trading.Local{T: newShard()}
+		primaries[i] = newShard()
+		dirs[i] = trading.Local{T: primaries[i]}
 	}
 	grace := 30 * time.Second
 	if opts.LeaseTTL > 0 {
@@ -302,12 +337,47 @@ func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error)
 			Standbys: standbys,
 			HotRPS:   opts.HotRPS,
 			Logger:   opts.Logger,
+			Metrics:  opts.Metrics,
 		})
 		if err != nil {
 			return fail(err)
 		}
 		h.Manager = mgr
 		h.stoppers = append(h.stoppers, mgr.Start())
+	}
+
+	if reg := opts.Metrics; reg != nil {
+		// Every shard's (and standby's) SetMetrics registered per-trader
+		// gauges under the same names, each seeing only its own slice of
+		// the ensemble; replace them with ensemble-wide sums. This must
+		// happen after the last newShard() call — GaugeFunc is last-wins
+		// on a duplicate name, so a later per-trader registration would
+		// silently shadow these. Offers and exports sum the primaries
+		// only (replicas hold copies of the same offers, so counting
+		// them would double count); queries sum every trader, because a
+		// promoted read replica serves real queries the primary never
+		// sees.
+		reg.GaugeFunc("trading_offers", func() float64 {
+			n := 0
+			for _, tr := range primaries {
+				n += tr.OfferCount()
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("trading_queries", func() float64 {
+			var n int64
+			for _, tr := range allTraders {
+				n += tr.Stats().Queries
+			}
+			return float64(n)
+		})
+		reg.GaugeFunc("trading_exports", func() float64 {
+			var n int64
+			for _, tr := range primaries {
+				n += tr.Stats().Exports
+			}
+			return float64(n)
+		})
 	}
 
 	var repo *idl.Repository
@@ -322,7 +392,7 @@ func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error)
 	}
 	srv, err := orb.NewServer(orb.ServerOptions{
 		Network: opts.Network, Address: opts.Address, Repo: repo, Logger: opts.Logger,
-		MaxConcurrent: opts.MaxConcurrent,
+		MaxConcurrent: opts.MaxConcurrent, Metrics: opts.Metrics,
 	})
 	if err != nil {
 		return fail(err)
@@ -332,7 +402,11 @@ func StartShardedTrader(opts ShardedTraderOptions) (*ShardedTraderHandle, error)
 	if opts.CheckIDL {
 		iface = "Trader"
 	}
-	h.Ref = srv.Register(trading.DefaultObjectKey, iface, shard.NewServant(router, h.Manager))
+	servant := shard.NewServant(router, h.Manager)
+	if opts.Metrics != nil {
+		servant.WithMetricsText(opts.Metrics.Text)
+	}
+	h.Ref = srv.Register(trading.DefaultObjectKey, iface, servant)
 	return h, nil
 }
 

@@ -7,6 +7,7 @@
 //	adaptctl -trader 'tcp|127.0.0.1:9050/Trader' types
 //	adaptctl -trader ... query LoadShared "LoadAvg < 2" "min LoadAvg"
 //	adaptctl -trader ... shards               # sharded-trader placement/stats
+//	adaptctl -trader ... metrics              # trader-side metrics exposition
 //	adaptctl -trader ... renew offer-3        # extend an offer's lease
 //	adaptctl -breaker-threshold 3 invoke ...  # fail fast on dead endpoints
 //	adaptctl invoke 'tcp|127.0.0.1:41234/service' hello
@@ -49,7 +50,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: adaptctl [flags] types|query|renew|shards|invoke|monitor|aspect|define ...")
+		return fmt.Errorf("usage: adaptctl [flags] types|query|renew|shards|metrics|invoke|monitor|aspect|define <args>")
 	}
 
 	client := orb.NewClientOpts(orb.ClientOptions{
@@ -125,6 +126,17 @@ func run() error {
 			return err
 		}
 		printShardStatus(rs[0])
+		return nil
+	case "metrics":
+		ref, err := wire.ParseObjRef(*traderRef)
+		if err != nil {
+			return err
+		}
+		rs, err := client.Invoke(ctx, ref, "metrics")
+		if err != nil {
+			return err
+		}
+		fmt.Print(rs[0].Str())
 		return nil
 	case "renew":
 		if len(args) < 2 {

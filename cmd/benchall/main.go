@@ -102,6 +102,17 @@ func run() error {
 	}
 	fmt.Fprintln(w, tA2.Render())
 
+	e16 := experiment.SLORouteConfig{}
+	if *full {
+		e16.Duration = 10 * time.Minute
+		e16.FaultOff = 5 * time.Minute
+	}
+	t16, _, err := experiment.SLORoutingTable(e16)
+	if err != nil {
+		return fmt.Errorf("E16: %w", err)
+	}
+	fmt.Fprintln(w, t16.Render())
+
 	fmt.Fprintln(w, "micro-benchmarks (E4 invocation paths, E5 trader queries, E7 script overhead,")
 	fmt.Fprintln(w, "E8 cross-service reuse): run `go test -bench=. -benchmem .` at the repo root.")
 	return nil

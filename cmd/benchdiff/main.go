@@ -1,0 +1,372 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline and fails on performance regressions. It is the engine behind
+// `make bench-regression` (the CI perf gate).
+//
+// Two modes:
+//
+//	go test -bench . -benchmem ... > bench.txt
+//	benchdiff -write -o bench_baseline.json bench.txt   # record a baseline
+//	benchdiff -baseline bench_baseline.json bench.txt   # gate against it
+//
+// Gate rules:
+//   - ns/op: fail when the new value exceeds the baseline by more than
+//     -threshold percent (default 15). Multiple runs of the same benchmark
+//     (-count=N, or the same bench appearing in several input files) are
+//     collapsed to the minimum before comparing — min-of-N is the
+//     noise-robust estimator for "how fast can this code go", and passing
+//     several time-separated run files makes a transient CPU-steal burst
+//     on shared runners unable to poison every sample of a bench.
+//   - Machine-speed normalization: the baseline records the timing of a
+//     fixed CPU-bound calibration loop run inside benchdiff itself; at
+//     compare time the loop is re-run and every baseline ns/op is scaled
+//     by the now/then ratio. A baseline recorded on one machine class
+//     therefore still gates meaningfully on another.
+//   - allocs/op: any increase fails. Allocation counts are deterministic
+//     for serial benchmarks, so even a +1 is a real regression. Benches
+//     above 1000 allocs/op get 0.1% slack for GC-timing jitter.
+//   - A benchmark present in the baseline but missing from the run fails:
+//     deleting or renaming a bench must be accompanied by a baseline
+//     refresh (`make bench-baseline`), not silently dropped from the gate.
+//   - Benchmarks matching -ignore are excluded from both recording and
+//     comparison; the Makefile uses this for open-loop/concurrency benches
+//     whose timings and allocation counts are scheduler-dependent.
+//
+// Output is a GitHub-flavored markdown delta table (also written to the
+// -md file when given, so CI can append it to the job summary). Exit
+// status 1 means at least one regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type baselineFile struct {
+	Note             string           `json:"note,omitempty"`
+	Threshold        float64          `json:"threshold_pct,omitempty"`
+	CalibrationNs    float64          `json:"calibration_ns,omitempty"`
+	CalibrationMemNs float64          `json:"calibration_mem_ns,omitempty"`
+	Benchmarks       map[string]bench `json:"benchmarks"`
+}
+
+// calibrate times two fixed workloads (min of three runs each): a
+// register-only FNV-1a loop that tracks raw ALU speed, and a pointer
+// walk over an 8 MiB buffer that tracks memory/cache throughput — on
+// shared runners a noisy neighbor can slow memory-heavy benchmarks
+// without touching ALU speed. The same code runs when the baseline is
+// recorded and when it is checked, so the ratios estimate how fast this
+// machine is relative to the one that produced the baseline.
+func calibrate() (spinNs, memNs float64) {
+	spinNs, memNs = math.MaxFloat64, math.MaxFloat64
+	// Next-pointer array forming one full random cycle (Sattolo shuffle,
+	// fixed LCG seed) so every load misses cache: 8 MiB, far beyond L2.
+	n := uint64(1 << 20)
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	rng := uint64(0x9E3779B97F4A7C15)
+	for i := n - 1; i > 0; i-- {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		j := rng % i
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	buf := make([]uint64, n)
+	for k := range perm {
+		buf[perm[k]] = perm[(k+1)%len(perm)]
+	}
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		var h uint64 = 1469598103934665603
+		for i := 0; i < 20_000_000; i++ {
+			h ^= uint64(i)
+			h *= 1099511628211
+		}
+		calSink = h
+		if d := float64(time.Since(start).Nanoseconds()); d < spinNs {
+			spinNs = d
+		}
+
+		start = time.Now()
+		idx := uint64(r)
+		for i := 0; i < 10_000_000; i++ {
+			idx = buf[idx]
+		}
+		calSink = idx
+		if d := float64(time.Since(start).Nanoseconds()); d < memNs {
+			memNs = d
+		}
+	}
+	return spinNs, memNs
+}
+
+var calSink uint64
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		write     = flag.Bool("write", false, "record a baseline instead of comparing")
+		out       = flag.String("o", "bench_baseline.json", "output path for -write")
+		basePath  = flag.String("baseline", "", "baseline JSON to compare against")
+		threshold = flag.Float64("threshold", 15, "max allowed ns/op increase, percent")
+		ignore    = flag.String("ignore", "", "regexp of benchmark names to exclude")
+		mdOut     = flag.String("md", "", "also write the markdown delta table to this file")
+	)
+	flag.Parse()
+
+	var ignoreRe *regexp.Regexp
+	if *ignore != "" {
+		re, err := regexp.Compile(*ignore)
+		if err != nil {
+			return fmt.Errorf("bad -ignore regexp: %w", err)
+		}
+		ignoreRe = re
+	}
+
+	got, err := parseInputs(flag.Args(), ignoreRe)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	if *write {
+		return writeBaseline(*out, got, *threshold)
+	}
+	if *basePath == "" {
+		return fmt.Errorf("need -baseline (or -write); see -h")
+	}
+	return compare(*basePath, got, *threshold, *mdOut)
+}
+
+// parseInputs reads `go test -bench` output from the named files (or
+// stdin when none are given) and returns one entry per benchmark,
+// min-collapsed across repeated lines. The trailing -N GOMAXPROCS
+// suffix is stripped so baselines transfer across machines.
+func parseInputs(paths []string, ignoreRe *regexp.Regexp) (map[string]bench, error) {
+	got := make(map[string]bench)
+	scan := func(r io.Reader) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			name, b, ok := parseLine(sc.Text())
+			if !ok || (ignoreRe != nil && ignoreRe.MatchString(name)) {
+				continue
+			}
+			if prev, seen := got[name]; seen {
+				if prev.NsPerOp < b.NsPerOp {
+					b.NsPerOp = prev.NsPerOp
+				}
+				if prev.AllocsPerOp < b.AllocsPerOp {
+					b.AllocsPerOp = prev.AllocsPerOp
+				}
+			}
+			got[name] = b
+		}
+		return sc.Err()
+	}
+	if len(paths) == 0 {
+		return got, scan(os.Stdin)
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		err = scan(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return got, nil
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkFoo/sub-4   1000  1234 ns/op  12 B/op  3 allocs/op
+func parseLine(line string) (string, bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", bench{}, false
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	var b bench
+	haveNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", bench{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			haveNs = true
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	return name, b, haveNs
+}
+
+func writeBaseline(path string, got map[string]bench, threshold float64) error {
+	spin, mem := calibrate()
+	bf := baselineFile{
+		Note: "Committed perf baseline for `make bench-regression`. Regenerate with " +
+			"`make bench-baseline` and commit the diff alongside the change that " +
+			"moved the numbers. calibration_ns/calibration_mem_ns record fixed " +
+			"CPU and memory-walk loops timed on the recording machine; comparisons " +
+			"rescale by them, so the file stays meaningful across machine classes.",
+		Threshold:        threshold,
+		CalibrationNs:    spin,
+		CalibrationMemNs: mem,
+		Benchmarks:       got,
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d benchmarks\n", path, len(got))
+	return nil
+}
+
+func compare(basePath string, got map[string]bench, threshold float64, mdOut string) error {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return fmt.Errorf("%s: %w", basePath, err)
+	}
+	if bf.Threshold > 0 {
+		threshold = bf.Threshold
+	}
+
+	// Rescale the baseline to this machine's speed: the worse of the ALU
+	// and memory-walk ratios, since a noisy neighbor can degrade memory
+	// throughput without touching ALU speed. Clamped so a wildly broken
+	// calibration can never silently disable the gate.
+	speed := 1.0
+	if bf.CalibrationNs > 0 {
+		spin, mem := calibrate()
+		speed = spin / bf.CalibrationNs
+		if bf.CalibrationMemNs > 0 {
+			speed = math.Max(speed, mem/bf.CalibrationMemNs)
+		}
+		speed = math.Min(4, math.Max(0.25, speed))
+	}
+
+	names := make([]string, 0, len(bf.Benchmarks))
+	for name := range bf.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf strings.Builder
+	fmt.Fprintf(&buf, "### bench-regression: %d benchmarks vs %s (ns/op gate: +%.0f%% after ×%.2f machine-speed rescale; allocs/op gate: any increase)\n\n",
+		len(names), basePath, threshold, speed)
+	buf.WriteString("| benchmark | base ns/op | new ns/op | Δ ns/op | base allocs/op | new allocs/op | verdict |\n")
+	buf.WriteString("|---|---:|---:|---:|---:|---:|---|\n")
+
+	failures := 0
+	for _, name := range names {
+		base := bf.Benchmarks[name]
+		base.NsPerOp *= speed
+		now, ok := got[name]
+		if !ok {
+			fmt.Fprintf(&buf, "| %s | %s | — | — | %d | — | **FAIL: missing from run** |\n",
+				name, fmtNs(base.NsPerOp), base.AllocsPerOp)
+			failures++
+			continue
+		}
+		deltaPct := 0.0
+		if base.NsPerOp > 0 {
+			deltaPct = (now.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		}
+		verdict := "ok"
+		if deltaPct > threshold {
+			verdict = fmt.Sprintf("**FAIL: ns/op +%.1f%% > +%.0f%%**", deltaPct, threshold)
+			failures++
+		}
+		// Any alloc increase fails; benches above 1000 allocs/op get 0.1%
+		// slack, since GC-timing jitter (pool refills, map rehash) can move
+		// an interpreter-scale count by ±1 without a code change.
+		if now.AllocsPerOp > base.AllocsPerOp+base.AllocsPerOp/1000 {
+			if verdict == "ok" {
+				verdict = ""
+			} else {
+				verdict += " "
+			}
+			verdict += fmt.Sprintf("**FAIL: allocs/op %d → %d**", base.AllocsPerOp, now.AllocsPerOp)
+			failures++
+		}
+		fmt.Fprintf(&buf, "| %s | %s | %s | %+.1f%% | %d | %d | %s |\n",
+			name, fmtNs(base.NsPerOp), fmtNs(now.NsPerOp), deltaPct, base.AllocsPerOp, now.AllocsPerOp, verdict)
+	}
+
+	extra := 0
+	for name := range got {
+		if _, ok := bf.Benchmarks[name]; !ok {
+			extra++
+			fmt.Fprintf(&buf, "| %s | — | %s | — | — | %d | new (no baseline — run `make bench-baseline`) |\n",
+				name, fmtNs(got[name].NsPerOp), got[name].AllocsPerOp)
+		}
+	}
+
+	buf.WriteString("\n")
+	if failures > 0 {
+		fmt.Fprintf(&buf, "**%d regression(s).** If intentional (e.g. a feature that costs an allocation), regenerate the baseline with `make bench-baseline` and commit it with the change.\n", failures)
+	} else {
+		fmt.Fprintf(&buf, "No regressions. %d benchmark(s) new since the baseline.\n", extra)
+	}
+
+	fmt.Print(buf.String())
+	if mdOut != "" {
+		if err := os.WriteFile(mdOut, []byte(buf.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark regression(s)", failures)
+	}
+	return nil
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.1fns", ns)
+	}
+}

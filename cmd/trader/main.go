@@ -54,6 +54,7 @@ func run() error {
 		hotRPS   = flag.Float64("hot-rps", 100, "per-shard query RPS above which a read replica is attached")
 		maxConc  = flag.Int("max-concurrent", 0, "dispatch pool size: max concurrently served requests (0 = ORB default, negative = unbounded)")
 		resolveT = flag.Duration("resolve-timeout", 0, "cap on each query's dynamic-property resolution phase (0 = caller deadline only)")
+		metrics  = flag.Bool("metrics", true, "instrument the daemon and serve the registry via the metrics operation (adaptctl metrics)")
 		types    typeList
 	)
 	flag.Var(&types, "type", "service type to register (repeatable)")
@@ -70,6 +71,10 @@ func run() error {
 		})
 	}
 	logger := log.New(os.Stderr, "trader ", log.LstdFlags)
+	var reg *autoadapt.MetricsRegistry
+	if *metrics {
+		reg = autoadapt.NewMetricsRegistry()
+	}
 	var (
 		endpoint string
 		ref      autoadapt.ObjRef
@@ -88,6 +93,7 @@ func run() error {
 			HotRPS:         *hotRPS,
 			MaxConcurrent:  *maxConc,
 			ResolveTimeout: *resolveT,
+			Metrics:        reg,
 			Logger:         logger,
 		})
 		if err != nil {
@@ -104,6 +110,7 @@ func run() error {
 			ReapInterval:   *reap,
 			MaxConcurrent:  *maxConc,
 			ResolveTimeout: *resolveT,
+			Metrics:        reg,
 			Logger:         logger,
 		})
 		if err != nil {
@@ -121,6 +128,9 @@ func run() error {
 	}
 	if *leaseTTL > 0 {
 		fmt.Printf("  leases:    %v TTL (agents must renew; see agentd -lease-ttl)\n", *leaseTTL)
+	}
+	if *metrics {
+		fmt.Printf("  metrics:   enabled; inspect with: adaptctl -trader '%s' metrics\n", ref)
 	}
 
 	sig := make(chan os.Signal, 1)

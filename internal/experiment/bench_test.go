@@ -1,0 +1,26 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// benchSLORouting runs one shortened E16 simulation per iteration: the
+// full selection loop (trader query with dynamic-property resolution,
+// band pick, SLO feed + monitor tick) is the work being measured.
+func benchSLORouting(b *testing.B, policy string) {
+	cfg := SLORouteConfig{
+		Duration: 30 * time.Second,
+		FaultAt:  5 * time.Second,
+		FaultOff: 20 * time.Second,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SLORouting(cfg, policy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE16SLORoutingP99(b *testing.B)     { benchSLORouting(b, PolicyP99Route) }
+func BenchmarkE16SLORoutingLoadAvg(b *testing.B) { benchSLORouting(b, PolicyLoadAvgRoute) }

@@ -1,0 +1,44 @@
+package experiment
+
+import "testing"
+
+// E16 shape: a latency fault the load average cannot see. The p99 policy
+// must route around the faulty server within one SLO window and win on
+// client-observed tail latency; the loadavg policy keeps feeding it. After
+// the fault clears, decay-on-empty must re-admit the server.
+func TestSLORoutingLatencyAwareBeatsLoadAvg(t *testing.T) {
+	cfg := SLORouteConfig{}
+	p99, err := SLORouting(cfg, PolicyP99Route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadavg, err := SLORouting(cfg, PolicyLoadAvgRoute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("p99 policy:     requests=%d p50=%.1fms p99=%.1fms fault_p50=%.1fms fault_p99=%.1fms share_faulty=%.3f readmitted=%d per-server=%v",
+		p99.Requests, p99.P50Ms, p99.P99Ms, p99.FaultP50Ms, p99.FaultP99Ms, p99.FaultShareFaulty, p99.RecoveryFaulty, p99.PerServer)
+	t.Logf("loadavg policy: requests=%d p50=%.1fms p99=%.1fms fault_p50=%.1fms fault_p99=%.1fms share_faulty=%.3f readmitted=%d per-server=%v",
+		loadavg.Requests, loadavg.P50Ms, loadavg.P99Ms, loadavg.FaultP50Ms, loadavg.FaultP99Ms, loadavg.FaultShareFaulty, loadavg.RecoveryFaulty, loadavg.PerServer)
+
+	// Acceptance: the latency-aware policy at least halves the fault-window
+	// tail latency.
+	if p99.FaultP99Ms >= loadavg.FaultP99Ms/2 {
+		t.Errorf("fault-window p99: latency-aware %.1fms, loadavg %.1fms — want < half",
+			p99.FaultP99Ms, loadavg.FaultP99Ms)
+	}
+	// The loadavg policy keeps routing a substantial share to the faulty
+	// server (it cannot see the fault); the p99 policy mostly avoids it.
+	if loadavg.FaultShareFaulty < 0.2 {
+		t.Errorf("loadavg fault share to faulty server = %.3f, expected >= 0.2 (fault invisible to LoadAvg)",
+			loadavg.FaultShareFaulty)
+	}
+	if p99.FaultShareFaulty > 0.15 {
+		t.Errorf("p99 fault share to faulty server = %.3f, expected <= 0.15", p99.FaultShareFaulty)
+	}
+	// Decay-on-empty re-admits the server after recovery: it must win
+	// traffic again under the p99 policy, not stay quarantined forever.
+	if p99.RecoveryFaulty == 0 {
+		t.Error("p99 policy never re-admitted the recovered server (decay-on-empty broken?)")
+	}
+}

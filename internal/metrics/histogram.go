@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a bounded streaming histogram of non-negative int64
+// samples (the ORB feeds it microseconds). Buckets follow an HDR-style
+// layout: exact below 16, then 16 linear sub-buckets per power of two,
+// which keeps the relative quantile error under ~6% across the full
+// int64 range with a fixed 976-slot table. Observe is two atomic adds —
+// no locks, no allocation — so it can ride the invoke hot path.
+//
+// Quantiles are computed from point-in-time Snapshots; successive
+// snapshots difference (Snapshot.Sub) into a window, which is how
+// SLOFeed derives "p99 over the last monitor period" for re-export as a
+// dynamic property.
+type Histogram struct {
+	sum     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// numBuckets covers bucketIndex over all int64 inputs: 16 exact slots,
+// then 16 sub-buckets for each exponent 4..62 → 16 + 59*16, rounded to
+// the index formula's ceiling (exp=63 unreachable for int64 ≥ 0 inputs
+// is still mapped safely below).
+const numBuckets = 16 * 61
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return new(Histogram) }
+
+// bucketIndex maps a sample to its bucket. Values below 16 are exact;
+// above, the top four significant bits select a linear sub-bucket
+// within the value's power-of-two range.
+func bucketIndex(v int64) int {
+	if v < 16 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1          // 4..62
+	sub := int((uint64(v) >> (exp - 4)) & 15) // 0..15
+	idx := (exp-3)*16 + sub
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns a representative value (midpoint) for bucket idx,
+// the inverse of bucketIndex used when reading quantiles back out.
+func bucketMid(idx int) float64 {
+	if idx < 16 {
+		return float64(idx)
+	}
+	exp := idx/16 + 3
+	sub := idx % 16
+	width := uint64(1) << (exp - 4)
+	lower := uint64(1)<<exp + uint64(sub)*width
+	return float64(lower) + float64(width)/2
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.sum.Add(uint64(v))
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. The zero
+// value is a valid empty snapshot.
+type HistSnapshot struct {
+	Count  uint64
+	Sum    uint64
+	counts [numBuckets]uint64
+}
+
+// Snapshot copies the current bucket counts. Under concurrent Observe
+// the copy is not a single atomic cut, but every bucket is internally
+// consistent and Count is derived from the copied buckets, so quantiles
+// never read past the data.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Sub returns the windowed difference s - prev: the samples observed
+// between the two snapshots. Counters only grow, so a negative delta
+// (snapshot order confusion) clamps to zero.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s.counts {
+		if s.counts[i] > prev.counts[i] {
+			d.counts[i] = s.counts[i] - prev.counts[i]
+			d.Count += d.counts[i]
+		}
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	return d
+}
+
+// Quantile returns the value at quantile q in [0,1] — e.g. 0.99 for
+// p99 — or 0 for an empty snapshot. The answer is the midpoint of the
+// bucket containing the q-th sample, so its relative error is bounded
+// by the bucket width (≤ ~6%).
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the sample we want.
+	rank := uint64(q*float64(s.Count-1)) + 1
+	var seen uint64
+	for i := range s.counts {
+		seen += s.counts[i]
+		if seen >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(numBuckets - 1)
+}
+
+// Mean returns the average of all observed samples, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

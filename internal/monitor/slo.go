@@ -1,0 +1,86 @@
+package monitor
+
+import (
+	"time"
+
+	"autoadapt/internal/clock"
+	"autoadapt/internal/metrics"
+	"autoadapt/internal/wire"
+)
+
+// SLO monitor: closes the feedback loop between the metrics layer and the
+// adaptation machinery. A server feeds its request outcomes into a
+// metrics.SLOFeed; this monitor publishes the feed's windowed sample —
+// p50/p95/p99 latency, mean, error rate — as an ordinary monitored
+// property with one aspect per field. Exported as trader dynamic
+// properties, the aspects let selection constraints and preferences speak
+// SLO language directly:
+//
+//	query LoadShared "p99_ms < 50" "min p99_ms"
+//
+// Unlike the kernel's damped load averages (which lag a burst by about a
+// minute and cannot see latency at all — a server can be slow without
+// being busy), the windowed percentiles move within one monitor period,
+// so selection reacts to what clients actually experience. Experiment E16
+// measures the difference.
+
+// Aspect names installed by NewSLO, matching the field names in the
+// monitored value so `min p99_ms` in a preference reads the same as
+// `v.p99_ms` in shipped code.
+const (
+	P50Aspect     = "p50_ms"
+	P95Aspect     = "p95_ms"
+	P99Aspect     = "p99_ms"
+	MeanAspect    = "mean_ms"
+	ErrRateAspect = "err_rate"
+)
+
+// sloAspectSrc projects one field of the sampled SLO table.
+func sloAspectSrc(field string) string {
+	return "function(self, currval, monitor)\n\treturn currval." + field + "\nend"
+}
+
+// SLOSampleValue renders an SLO sample as the monitor's property value: a
+// table keyed by the aspect names plus the window's request count.
+func SLOSampleValue(s metrics.SLOSample) wire.Value {
+	t := wire.NewTable()
+	t.SetString(P50Aspect, wire.Number(s.P50ms))
+	t.SetString(P95Aspect, wire.Number(s.P95ms))
+	t.SetString(P99Aspect, wire.Number(s.P99ms))
+	t.SetString(MeanAspect, wire.Number(s.MeanMs))
+	t.SetString(ErrRateAspect, wire.Number(s.ErrRate))
+	t.SetString("count", wire.Number(float64(s.Count)))
+	return wire.TableVal(t)
+}
+
+// NewSLO builds a monitor named "SLO" over feed: each tick closes one
+// observation window (feed.Sample) and publishes the percentile table,
+// with the p50/p95/p99/mean/err_rate aspects pre-defined so each is
+// individually addressable as a trader dynamic property. The usual
+// monitor options apply (period, sim clock, notifier, script budgets for
+// additional shipped aspects).
+func NewSLO(feed *metrics.SLOFeed, clk clock.Clock, period time.Duration, notifier Notifier, opts ...func(*Options)) (*Monitor, error) {
+	o := Options{
+		Name:     "SLO",
+		Period:   period,
+		Clock:    clk,
+		Notifier: notifier,
+		Update: func() (wire.Value, error) {
+			return SLOSampleValue(feed.Sample()), nil
+		},
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	m, err := New(o)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{P50Aspect, P95Aspect, P99Aspect, MeanAspect, ErrRateAspect} {
+		if err := m.DefineAspect(name, sloAspectSrc(name)); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}

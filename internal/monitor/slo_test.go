@@ -1,0 +1,57 @@
+package monitor
+
+import (
+	"testing"
+
+	"autoadapt/internal/metrics"
+)
+
+// TestSLOMonitorAspects feeds one window of latencies through an SLOFeed
+// and checks the monitor publishes them as individually addressable
+// aspects after a tick.
+func TestSLOMonitorAspects(t *testing.T) {
+	feed := metrics.NewSLOFeed(nil, "svc")
+	m, err := NewSLO(feed, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// 100 requests: 1..100 ms, 10 of them failed.
+	for i := 1; i <= 100; i++ {
+		feed.ObserveLatency(int64(i)*1000, i <= 10)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	p99, err := m.AspectValue(P99Aspect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p99.AsNumber(); !ok || v < 90 || v > 110 {
+		t.Errorf("p99_ms aspect = %v, want ~99", p99)
+	}
+	errRate, err := m.AspectValue(ErrRateAspect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := errRate.AsNumber(); !ok || v < 0.09 || v > 0.11 {
+		t.Errorf("err_rate aspect = %v, want ~0.1", errRate)
+	}
+
+	// An empty window decays the previous sample instead of zeroing it, so
+	// selection keeps a fading memory of a server it stopped sending to.
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	p99b, err := m.AspectValue(P99Aspect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := p99.AsNumber()
+	vb, ok := p99b.AsNumber()
+	if !ok || vb <= 0 || vb >= va {
+		t.Errorf("decayed p99_ms = %v, want in (0, %v)", p99b, va)
+	}
+}

@@ -66,6 +66,10 @@ const (
 type breaker struct {
 	policy BreakerPolicy
 	now    func() time.Time
+	// Transition counters, shared across the owning client's breakers.
+	// The *metrics.Counter methods are nil-safe, so unmetered clients pay
+	// nothing here.
+	counters breakerCounters
 
 	mu      sync.Mutex
 	state   string
@@ -123,6 +127,9 @@ func (b *breaker) record(err error, probe bool) {
 			b.probing = false
 		}
 	case err == nil || isRemoteReply(err):
+		if b.state != BreakerClosed {
+			b.counters.reclosed.Inc()
+		}
 		b.state = BreakerClosed
 		b.fails = 0
 		b.probing = false
@@ -144,6 +151,7 @@ func (b *breaker) record(err error, probe bool) {
 
 // trip opens the circuit for one cooldown (called with b.mu held).
 func (b *breaker) trip() {
+	b.counters.opened.Inc()
 	b.state = BreakerOpen
 	b.until = b.now().Add(b.policy.cooldown())
 	b.fails = 0
@@ -197,6 +205,9 @@ func (c *Client) breakerFor(endpoint string) *breaker {
 	b := c.breakers[endpoint]
 	if b == nil {
 		b = newBreaker(c.breakerPolicy, c.breakerNow)
+		if c.metrics != nil {
+			b.counters = *c.metrics.breakerCounters()
+		}
 		c.breakers[endpoint] = b
 	}
 	return b

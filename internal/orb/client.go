@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"autoadapt/internal/metrics"
 	"autoadapt/internal/wire"
 )
 
@@ -104,6 +105,11 @@ type ClientOptions struct {
 	// SubscribeBuffer is the per-subscription event buffer (see
 	// Client.Subscribe). 0 means DefaultSubscriptionBuffer.
 	SubscribeBuffer int
+	// Metrics, when non-nil, instruments the client: per-endpoint invoke
+	// latency histograms and outcome-class counters, breaker transition
+	// counters, and the ClientStats counters as gauges (see metrics.go).
+	// Nil disables instrumentation at zero hot-path cost.
+	Metrics *metrics.Registry
 }
 
 // Client performs dynamic invocations on remote objects. It multiplexes
@@ -120,7 +126,8 @@ type Client struct {
 	batchBytes   int
 	subBuffer    int
 
-	stats clientStats
+	stats   clientStats
+	metrics *clientMetrics // nil = instrumentation disabled
 
 	// Circuit breakers, one per endpoint (see breaker.go). breakerNow is
 	// the injected time source driving cooldowns.
@@ -184,7 +191,7 @@ func NewClientOpts(opts ClientOptions) *Client {
 	if bb <= 0 {
 		bb = DefaultBatchBytes
 	}
-	return &Client{
+	c := &Client{
 		networks:      m,
 		retry:         opts.Retry,
 		timeout:       opts.InvokeTimeout,
@@ -201,6 +208,8 @@ func NewClientOpts(opts ClientOptions) *Client {
 		dials:         make(map[string]*inflightDial),
 		local:         make(map[string]*Server),
 	}
+	c.metrics = newClientMetrics(opts.Metrics, &c.stats)
+	return c
 }
 
 // RegisterLocal enables the in-process fast path for a co-located server:
@@ -250,6 +259,16 @@ func (c *Client) Invoke(ctx context.Context, ref wire.ObjRef, op string, args ..
 // partitioned); remote calls consult the endpoint's breaker before
 // touching the transport and feed their outcome back into it.
 func (c *Client) invokeOnce(ctx context.Context, ref wire.ObjRef, op string, args []wire.Value) ([]wire.Value, error) {
+	if c.metrics != nil {
+		start := time.Now()
+		rs, err := c.invokeOnceUntimed(ctx, ref, op, args)
+		c.metrics.observe(ref.Endpoint, time.Since(start), err)
+		return rs, err
+	}
+	return c.invokeOnceUntimed(ctx, ref, op, args)
+}
+
+func (c *Client) invokeOnceUntimed(ctx context.Context, ref wire.ObjRef, op string, args []wire.Value) ([]wire.Value, error) {
 	c.localMu.RLock()
 	local, ok := c.local[ref.Endpoint]
 	c.localMu.RUnlock()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"autoadapt/internal/idl"
+	"autoadapt/internal/metrics"
 	"autoadapt/internal/wire"
 )
 
@@ -121,6 +122,10 @@ type ServerOptions struct {
 	// CodeOverloaded error reply and oneways are dropped. 0 means
 	// DefaultMaxQueue. Ignored when MaxConcurrent is negative.
 	MaxQueue int
+	// Metrics, when non-nil, instruments dispatch: a latency histogram,
+	// per-reply-code counters, and the ServerStats counters as gauges
+	// (see metrics.go). Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 // ServerStats is a snapshot of a server's counters.
@@ -167,6 +172,7 @@ type Server struct {
 	connsMu sync.Mutex
 
 	stats serverStats
+	sm    *serverMetrics // nil = instrumentation disabled
 
 	// Admission control: queue feeds a pool of at most maxConcurrent
 	// workers, spawned lazily as demand appears. queue is nil when
@@ -228,6 +234,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		}
 		s.queue = make(chan connJob, maxQueue)
 	}
+	s.sm = newServerMetrics(opts.Metrics, s)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -695,6 +702,16 @@ func (s *Server) dispatch(req *wire.Request) *wire.Reply {
 
 // dispatchEntry is dispatch with the servant lookup already done.
 func (s *Server) dispatchEntry(entry *servantEntry, req *wire.Request) *wire.Reply {
+	if s.sm != nil {
+		start := time.Now()
+		rep := s.dispatchEntryUntimed(entry, req)
+		s.sm.observe(time.Since(start), rep.ErrCode)
+		return rep
+	}
+	return s.dispatchEntryUntimed(entry, req)
+}
+
+func (s *Server) dispatchEntryUntimed(entry *servantEntry, req *wire.Request) *wire.Reply {
 	if req.Deadline != 0 && time.Now().UnixNano() > req.Deadline {
 		// Backstop for requests that expired after admission (e.g. while
 		// queued for a pool worker); admission-time expiry is caught in

@@ -104,6 +104,12 @@ func (t *Trader) Renew(id string) error {
 	} else {
 		rec.expires = time.Time{}
 	}
+	if tm := t.tm.Load(); tm != nil {
+		tm.renewals.Inc()
+		if rec.quarantined {
+			tm.rehabilitated.Inc()
+		}
+	}
 	rec.fails = 0
 	rec.quarantined = false
 	return nil
@@ -132,6 +138,9 @@ func (t *Trader) Reap() int {
 			delete(t.offers, id)
 			n++
 		}
+	}
+	if tm := t.tm.Load(); tm != nil && n > 0 {
+		tm.reaped.Add(uint64(n))
 	}
 	return n
 }
@@ -211,6 +220,7 @@ func (t *Trader) noteResolveOutcomes(ctx context.Context, candidates []offerView
 	if !dirty {
 		return // nothing to record: no liveness evidence, no write lock
 	}
+	tm := t.tm.Load()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i := range candidates {
@@ -220,12 +230,18 @@ func (t *Trader) noteResolveOutcomes(ctx context.Context, candidates []offerView
 		}
 		switch outcomes[i] {
 		case resolveAllOK:
+			if tm != nil && rec.quarantined {
+				tm.rehabilitated.Inc()
+			}
 			rec.fails = 0
 			rec.quarantined = false
 		case resolveSomeFailed:
 			rec.fails++
-			if rec.fails >= threshold {
+			if rec.fails >= threshold && !rec.quarantined {
 				rec.quarantined = true
+				if tm != nil {
+					tm.quarantined.Inc()
+				}
 			}
 		}
 	}

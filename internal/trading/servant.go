@@ -35,6 +35,7 @@ interface Trader : Lookup, Register {
     any listTypes();
     any stats();
     any shardStatus();
+    string metrics();
 };
 `
 
@@ -51,9 +52,10 @@ const DefaultObjectKey = "Trader"
 // routing client (NewDirectoryServant) — callers on the wire cannot tell
 // the difference.
 type Servant struct {
-	dir   Directory
-	types func() []string            // listTypes; nil → empty list
-	stats func() (TraderStats, bool) // stats; nil or false → unsupported
+	dir     Directory
+	types   func() []string            // listTypes; nil → empty list
+	stats   func() (TraderStats, bool) // stats; nil or false → unsupported
+	metrics func() string              // metrics exposition; nil → unsupported
 }
 
 // NewServant wraps an in-process trader.
@@ -70,6 +72,14 @@ func NewServant(t *Trader) *Servant {
 // typeNames backs the listTypes operation and may be nil.
 func NewDirectoryServant(d Directory, typeNames func() []string) *Servant {
 	return &Servant{dir: d, types: typeNames}
+}
+
+// WithMetricsText arms the servant's "metrics" operation: fn renders the
+// plain-text metrics exposition (typically metrics.Registry.Text) that
+// `adaptctl metrics` fetches. Returns s for chaining.
+func (s *Servant) WithMetricsText(fn func() string) *Servant {
+	s.metrics = fn
+	return s
 }
 
 var _ orb.Servant = (*Servant)(nil)
@@ -169,6 +179,11 @@ func (s *Servant) Invoke(op string, args []wire.Value) ([]wire.Value, error) {
 			}
 		}
 		return nil, orb.Appf("trader: stats not available through this endpoint")
+	case "metrics":
+		if s.metrics == nil {
+			return nil, orb.Appf("trader: metrics not enabled on this endpoint")
+		}
+		return []wire.Value{wire.String(s.metrics())}, nil
 	case "listTypes":
 		out := wire.NewTable()
 		if s.types != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"autoadapt/internal/clock"
+	"autoadapt/internal/metrics"
 	"autoadapt/internal/trading"
 )
 
@@ -47,6 +48,10 @@ type ManagerOptions struct {
 	Clock clock.Clock
 	// Logger receives scaling decisions. Nil discards.
 	Logger *log.Logger
+	// Metrics, when non-nil, exports the manager's counters (ticks,
+	// promote/demote decisions, sync volume, heartbeat misses) and the
+	// free-standby level as shard_manager_* gauges.
+	Metrics *metrics.Registry
 }
 
 // ManagerStats counts a Manager's activity.
@@ -116,7 +121,7 @@ func NewManager(opts ManagerOptions) (*Manager, error) {
 		opts.Clock = clock.Real{}
 	}
 	n := opts.Router.NumShards()
-	return &Manager{
+	m := &Manager{
 		opts:     opts,
 		router:   opts.Router,
 		free:     append([]trading.Directory(nil), opts.Standbys...),
@@ -124,7 +129,16 @@ func NewManager(opts ManagerOptions) (*Manager, error) {
 		prev:     make([]trading.TraderStats, n),
 		prevAt:   make([]time.Time, n),
 		havePrev: make([]bool, n),
-	}, nil
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.GaugeFunc("shard_manager_ticks", func() float64 { return float64(m.ticks.Load()) })
+		reg.GaugeFunc("shard_manager_grows", func() float64 { return float64(m.grows.Load()) })
+		reg.GaugeFunc("shard_manager_shrinks", func() float64 { return float64(m.shrinks.Load()) })
+		reg.GaugeFunc("shard_manager_synced_offers", func() float64 { return float64(m.synced.Load()) })
+		reg.GaugeFunc("shard_manager_poll_fails", func() float64 { return float64(m.pollFails.Load()) })
+		reg.GaugeFunc("shard_manager_free_standbys", func() float64 { return float64(m.FreeStandbys()) })
+	}
+	return m, nil
 }
 
 func (m *Manager) logf(format string, args ...any) {

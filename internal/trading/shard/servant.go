@@ -48,6 +48,14 @@ func NewServant(r *Router, mgr *Manager) *Servant {
 	}
 }
 
+// WithMetricsText makes the wrapped trader interface's `metrics` op return
+// fn() — usually a metrics.Registry's Text — so `adaptctl metrics` works
+// against a sharded deployment too. Returns s for chaining.
+func (s *Servant) WithMetricsText(fn func() string) *Servant {
+	s.inner.WithMetricsText(fn)
+	return s
+}
+
 var _ orb.Servant = (*Servant)(nil)
 
 // Invoke implements orb.Servant.

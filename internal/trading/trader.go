@@ -113,6 +113,10 @@ type Trader struct {
 	statQueries    atomic.Int64
 	statExports    atomic.Int64
 	statQueryNanos atomic.Int64
+
+	// Optional registry-backed instrumentation (see metrics.go). Atomic so
+	// SetMetrics is safe against in-flight queries; nil = disabled.
+	tm atomic.Pointer[traderMetrics]
 }
 
 // defaultResolveParallel is the per-query fan-out bound for dynamic
@@ -251,6 +255,9 @@ func (t *Trader) Withdraw(id string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownOffer, id)
 	}
 	delete(t.offers, id)
+	if tm := t.tm.Load(); tm != nil {
+		tm.withdrawals.Inc()
+	}
 	if rec.expired(t.clk.Now()) {
 		return fmt.Errorf("%w: %q (lease expired)", ErrUnknownOffer, id)
 	}
@@ -318,13 +325,26 @@ func (t *Trader) OfferCount() int {
 func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference string, maxResults int) ([]QueryResult, error) {
 	began := time.Now()
 	t.statQueries.Add(1)
-	defer func() { t.statQueryNanos.Add(int64(time.Since(began))) }()
+	tm := t.tm.Load()
+	defer func() {
+		elapsed := time.Since(began)
+		t.statQueryNanos.Add(int64(elapsed))
+		if tm != nil {
+			tm.queryLatency.Observe(elapsed.Microseconds())
+		}
+	}()
 	cons, err := cachedConstraint(constraint)
 	if err != nil {
+		if tm != nil {
+			tm.queryErrors.Inc()
+		}
 		return nil, err
 	}
 	pref, err := cachedPreference(preference)
 	if err != nil {
+		if tm != nil {
+			tm.queryErrors.Inc()
+		}
 		return nil, err
 	}
 	sc := getQueryScratch()
@@ -332,6 +352,9 @@ func (t *Trader) Query(ctx context.Context, serviceType, constraint, preference 
 	t.mu.RLock()
 	if _, ok := t.types[serviceType]; !ok {
 		t.mu.RUnlock()
+		if tm != nil {
+			tm.queryErrors.Inc()
+		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownServiceType, serviceType)
 	}
 	workers := t.resolveParallel
@@ -633,6 +656,18 @@ func (t *Trader) snapshotAll(ctx context.Context, offers []offerView, cons *Cons
 		sc.tasks, sc.pend = tasks, pend
 	}
 	results := t.resolveAll(ctx, tasks, workers, sc)
+	if tm := t.tm.Load(); tm != nil {
+		tm.resolveTasks.Observe(int64(len(tasks)))
+		var failed uint64
+		for i := range results {
+			if results[i].err != nil {
+				failed++
+			}
+		}
+		if failed > 0 {
+			tm.resolveErrors.Add(failed)
+		}
+	}
 	for _, p := range pend {
 		if r := results[p.task]; r.err == nil {
 			snaps[p.offer][p.name] = r.v

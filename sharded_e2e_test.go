@@ -9,6 +9,7 @@ package autoadapt
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -149,5 +150,78 @@ func TestShardedTraderFullStack(t *testing.T) {
 	}
 	if got := int(mgrTb.GetString("freeStandbys").Num()); got != 1 {
 		t.Fatalf("freeStandbys = %d, want 1", got)
+	}
+}
+
+// Regression: the ensemble-wide trading_* gauges must survive standby
+// creation. Standbys are built with the same SetMetrics(reg) path as the
+// shards, and GaugeFunc is last-wins on a duplicate name — registering
+// the ensemble sums before the standbys existed let an idle standby's
+// per-trader gauge shadow them, so a sharded daemon with -standbys
+// reported trading_queries 0 forever while the shared latency histogram
+// kept counting.
+func TestShardedTraderEnsembleGaugesWithStandbys(t *testing.T) {
+	network := NewInprocNetwork()
+	ctx := context.Background()
+
+	reg := NewMetricsRegistry()
+	trader, err := StartShardedTrader(ShardedTraderOptions{
+		Network:  network,
+		Address:  "trader",
+		Shards:   2,
+		Standbys: 1,
+		Types: []ServiceType{
+			{Name: "Hello", Props: []string{"LoadAvg", "LoadAvgIncreasing", "Host"}},
+		},
+		CheckIDL: true,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = trader.Close() })
+
+	platform, err := Connect(network, trader.Ref, "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = platform.Close() })
+
+	ag, err := StartAgent(ctx, AgentOptions{
+		Network:       network,
+		Address:       "srv-0",
+		Lookup:        platform.Lookup,
+		ServiceType:   "Hello",
+		Servant:       helloServant("srv-0"),
+		LoadSource:    newDialSource(0.2),
+		MonitorPeriod: 25 * time.Millisecond,
+		StaticProps:   map[string]wire.Value{"Host": wire.String("srv-0")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ag.Close(context.Background()) })
+
+	if _, err := platform.Lookup.Query(ctx, "Hello", "", "min LoadAvg", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	gauge := func(name string) float64 {
+		var v float64
+		for _, line := range strings.Split(reg.Text(), "\n") {
+			if n, ok := strings.CutPrefix(line, name+" "); ok {
+				fmt.Sscanf(n, "%g", &v)
+			}
+		}
+		return v
+	}
+	if got := gauge("trading_queries"); got < 1 {
+		t.Errorf("trading_queries = %g after a query, want >= 1", got)
+	}
+	if got := gauge("trading_offers"); got != 1 {
+		t.Errorf("trading_offers = %g with one exported offer, want 1", got)
+	}
+	if got := gauge("trading_exports"); got < 1 {
+		t.Errorf("trading_exports = %g after an export, want >= 1", got)
 	}
 }
