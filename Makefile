@@ -81,8 +81,9 @@ bench-baseline:
 
 # Hostile-input and overload robustness suites (PR 8): admission control
 # under request storms, budget sandboxing of shipped scripts (including
-# the hostile differential corpus), script/aspect/strategy quarantine,
-# the wire fuzz properties plus a short run of both native fuzzers, and
+# the hostile differential corpus, run on both engines), script/aspect/
+# strategy quarantine, the wire fuzz properties plus a short run of the
+# native fuzzers — including the VM/tree-walker differential fuzzer — and
 # the E15 governed-vs-ungoverned overload experiment.
 chaos:
 	$(GO) test -count=1 -run 'Admission|Overloaded|LegacySpill' ./internal/orb
@@ -91,4 +92,5 @@ chaos:
 	$(GO) test -count=1 -run 'Property|Decode|Frame|Truncat|Overloaded' ./internal/wire
 	$(GO) test -count=1 -run '^$$' -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -count=1 -run '^$$' -fuzz FuzzCompileResolve -fuzztime $(FUZZTIME) ./internal/script
+	$(GO) test -count=1 -run '^$$' -fuzz FuzzVMDiff -fuzztime $(FUZZTIME) ./internal/script
 	$(GO) test -count=1 -run 'Overload|HostileQuarantine' ./internal/experiment

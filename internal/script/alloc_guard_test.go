@@ -4,10 +4,13 @@ import "testing"
 
 // Allocation-regression guards for the interpreter hot paths, in the style
 // of internal/wire and internal/orb. The resolver/pool overhaul took the
-// numeric-loop kernel from ~7000 allocs per run to one (the return-value
-// slice) and Fib15 from ~20700 to ~3950 (two per recursive call: the callee
-// return slice and its pass-through). Ceilings carry slack over the
-// measured counts so toolchain noise does not flake them.
+// tree walker's numeric-loop kernel from ~7000 allocs per run to one (the
+// return-value slice) and Fib15 from ~20700 to ~3950; the bytecode VM —
+// now the default engine, guarded under the plain names below — holds the
+// loop at 1 alloc and takes Fib15 to ~4 (fixed-arg calls borrow the caller's
+// register window instead of allocating). The explicit *TreeWalk variants
+// keep the reference engine pinned at its own ceilings. Ceilings carry
+// slack over the measured counts so toolchain noise does not flake them.
 
 func TestAllocGuardNumericLoop(t *testing.T) {
 	in := New(Options{})
@@ -41,6 +44,51 @@ func TestAllocGuardFib15(t *testing.T) {
 	if _, err := in.Call(fn, nil); err != nil {
 		t.Fatal(err)
 	}
+	// Measured: ~4 allocs on the VM (one pooled frame grow + the return
+	// slice; recursive script→script calls reuse register windows). The
+	// tree walker needs ~3950 and the seed interpreter ~20700 — fail long
+	// before either regression can sneak back into the default engine.
+	if allocs := testing.AllocsPerRun(5, func() {
+		if _, err := in.Call(fn, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 64 {
+		t.Fatalf("Fib15: %.1f allocs/op, want <= 64", allocs)
+	}
+}
+
+func TestAllocGuardNumericLoopTreeWalk(t *testing.T) {
+	in := New(Options{Engine: EngineTreeWalk})
+	fn, err := in.Compile("loop", "local s = 0 for i = 1, 1000 do s = s + i end return s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Measured: 1 alloc (the return-value slice), same as the VM.
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := in.Call(fn, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 4 {
+		t.Fatalf("NumericLoop (treewalk): %.1f allocs/op, want <= 4", allocs)
+	}
+}
+
+func TestAllocGuardFib15TreeWalk(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	in := New(Options{Engine: EngineTreeWalk})
+	fn, err := in.Compile("fib",
+		"local function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end return fib(15)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call(fn, nil); err != nil {
+		t.Fatal(err)
+	}
 	// Measured: ~3950 allocs (two per call across 1973 calls). The seed
 	// interpreter needed ~20700; fail well before it drifts back.
 	if allocs := testing.AllocsPerRun(5, func() {
@@ -48,7 +96,7 @@ func TestAllocGuardFib15(t *testing.T) {
 			t.Fatal(err)
 		}
 	}); allocs > 4500 {
-		t.Fatalf("Fib15: %.1f allocs/op, want <= 4500", allocs)
+		t.Fatalf("Fib15 (treewalk): %.1f allocs/op, want <= 4500", allocs)
 	}
 }
 

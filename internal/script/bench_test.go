@@ -6,7 +6,11 @@ import "testing"
 // costs, useful when tuning the tree walker.
 
 func benchEval(b *testing.B, src string) {
-	in := New(Options{})
+	benchEvalEngine(b, src, Options{})
+}
+
+func benchEvalEngine(b *testing.B, src string, opts Options) {
+	in := New(opts)
 	fn, err := in.Compile("bench", src)
 	if err != nil {
 		b.Fatal(err)
@@ -20,20 +24,65 @@ func benchEval(b *testing.B, src string) {
 	}
 }
 
+const fib15Src = `
+	local function fib(n)
+		if n < 2 then return n end
+		return fib(n-1) + fib(n-2)
+	end
+	return fib(15)`
+
+const numericLoopSrc = `
+	local s = 0
+	for i = 1, 1000 do s = s + i end
+	return s`
+
 func BenchmarkFib15(b *testing.B) {
-	benchEval(b, `
-		local function fib(n)
-			if n < 2 then return n end
-			return fib(n-1) + fib(n-2)
-		end
-		return fib(15)`)
+	benchEval(b, fib15Src)
 }
 
 func BenchmarkNumericLoop(b *testing.B) {
-	benchEval(b, `
-		local s = 0
-		for i = 1, 1000 do s = s + i end
-		return s`)
+	benchEval(b, numericLoopSrc)
+}
+
+// Engine-explicit variants of the two gate kernels: the VM pair pins the
+// default engine's numbers under their own names, and the TreeWalk pair
+// keeps the reference interpreter measured so the VM's speedup factor (the
+// ROADMAP's ≥2× Fib15 bar) stays visible in every bench run.
+
+func BenchmarkFib15VM(b *testing.B) {
+	benchEvalEngine(b, fib15Src, Options{Engine: EngineVM})
+}
+
+func BenchmarkNumericLoopVM(b *testing.B) {
+	benchEvalEngine(b, numericLoopSrc, Options{Engine: EngineVM})
+}
+
+func BenchmarkFib15TreeWalk(b *testing.B) {
+	benchEvalEngine(b, fib15Src, Options{Engine: EngineTreeWalk})
+}
+
+func BenchmarkNumericLoopTreeWalk(b *testing.B) {
+	benchEvalEngine(b, numericLoopSrc, Options{Engine: EngineTreeWalk})
+}
+
+// BenchmarkCompileProtoFig7 measures the VM's lazy bytecode-compile cost in
+// isolation: parse+resolve once, then time compileProto on the resolved
+// proto. This is the one-time cost a ChunkCache miss pays on first call
+// under the VM engine.
+func BenchmarkCompileProtoFig7(b *testing.B) {
+	in := New(Options{CacheSize: -1})
+	fn, err := in.Compile("fig7", benchFig7Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := fn.cl.proto
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if compileProto(proto) == vmUnsupported {
+			b.Fatal("unsupported")
+		}
+	}
 }
 
 func BenchmarkTableChurn(b *testing.B) {

@@ -1,0 +1,48 @@
+package script
+
+import "fmt"
+
+// Engine selects the execution backend for script closures. Both engines
+// share the whole front half of the pipeline — lexer, parser, resolver,
+// chunk cache — and differ only in how a resolved funcProto is executed:
+//
+//   - EngineVM lowers each proto to register bytecode on first call (cached
+//     on the proto, so ChunkCache hits reuse compiled code) and runs it in
+//     the vm.go dispatch loop.
+//   - EngineTreeWalk executes the resolved AST directly, exactly as PR 5
+//     shipped it. It is kept forever as the reference semantics that the
+//     differential corpus and FuzzVMDiff compare the VM against.
+//
+// The zero value is EngineVM: every embedder gets the fast path unless it
+// explicitly opts into the reference interpreter.
+type Engine uint8
+
+const (
+	// EngineVM executes compiled register bytecode (the default).
+	EngineVM Engine = iota
+	// EngineTreeWalk executes the resolved AST directly (reference).
+	EngineTreeWalk
+)
+
+// String returns the flag-friendly name of the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineTreeWalk:
+		return "treewalk"
+	default:
+		return "vm"
+	}
+}
+
+// ParseEngine parses a -script-engine flag value. The empty string selects
+// the default (VM) engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "vm":
+		return EngineVM, nil
+	case "treewalk", "tree-walk", "tree":
+		return EngineTreeWalk, nil
+	default:
+		return EngineVM, fmt.Errorf("script: unknown engine %q (want vm or treewalk)", s)
+	}
+}

@@ -83,6 +83,11 @@ type Options struct {
 	// MemBudget bounds the bytes of accounted allocation per top-level
 	// call (see ErrMemBudget). Zero disables the bound.
 	MemBudget int64
+	// Engine selects the execution backend: the bytecode VM (default) or
+	// the tree-walking reference interpreter. Both run the same resolved
+	// protos with identical semantics, budgets, and error strings; the
+	// tree-walker is kept as the differential-testing reference.
+	Engine Engine
 }
 
 // DefaultMaxSteps is the per-call step budget applied when Options.MaxSteps
@@ -354,7 +359,23 @@ func (in *Interp) call(fn Value, args []Value, depth int) ([]Value, error) {
 	}
 }
 
+// callClosure is the engine dispatch point: every script-function call —
+// top-level Call/Eval, script→script calls, pcall, generic-for iterators —
+// funnels through in.call and lands here.
 func (in *Interp) callClosure(cl *Closure, args []Value, depth int) ([]Value, error) {
+	if in.opts.Engine == EngineTreeWalk {
+		return in.callClosureTree(cl, args, depth)
+	}
+	var out []Value
+	if err := in.callVM(cl, args, depth, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// callClosureTree executes a closure with the tree-walking reference
+// interpreter.
+func (in *Interp) callClosureTree(cl *Closure, args []Value, depth int) ([]Value, error) {
 	p := cl.proto
 	// Frame storage is charged per call, not per pool miss: pooled reuse is
 	// nondeterministic, and what the budget models is the call's demand.
